@@ -1,0 +1,105 @@
+// Command potential inspects and exports the EAM potential: it prints the
+// shell energies and table statistics the simulation runs on, and can
+// export the tabulated potential in the LAMMPS setfl (eam/alloy) format so
+// the exact same interaction can be loaded into external MD codes.
+//
+// Examples:
+//
+//	potential                 # inspect the Fe potential
+//	potential -export fe.eam  # write a setfl file
+//	potential -element Cu     # inspect the synthetic Cu parametrization
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"mdkmc/internal/eam"
+	"mdkmc/internal/units"
+)
+
+func main() {
+	var (
+		elem    = flag.String("element", "Fe", "element to inspect: Fe|Cu")
+		export  = flag.String("export", "", "write a setfl (eam/alloy) file to this path")
+		points  = flag.Int("points", eam.TablePoints, "table resolution")
+		verbose = flag.Bool("v", false, "print the shell-by-shell breakdown")
+	)
+	flag.Parse()
+
+	var e units.Element
+	switch *elem {
+	case "Fe":
+		e = units.Fe
+	case "Cu":
+		e = units.Cu
+	default:
+		fmt.Fprintf(os.Stderr, "unknown element %q\n", *elem)
+		os.Exit(2)
+	}
+	var pot *eam.Potential
+	if e == units.Cu {
+		pot = eam.NewFeCu(eam.Compacted, *points)
+	} else {
+		pot = eam.NewFe(eam.Compacted, *points)
+	}
+
+	fmt.Printf("element        %s (%.3f amu)\n", e, e.MassAMU())
+	fmt.Printf("cutoff         %.4f Å\n", pot.Cutoff)
+	compacted, traditional := pot.TableBytes()
+	fmt.Printf("tables         compacted %d B (%.1f KB), traditional %d B (%.1f KB), ratio 1/%.1f\n",
+		compacted, float64(compacted)/1024, traditional, float64(traditional)/1024,
+		float64(traditional)/float64(compacted))
+	fmt.Printf("LDM (64 KB)    compacted fits: %v; traditional fits: %v\n",
+		compacted < 64*1024, traditional < 64*1024)
+
+	a0 := units.LatticeConstantFe
+	rho := eam.EquilibriumDensity(e, a0)
+	fE, _ := eam.EmbedAnalytic(e, rho)
+	fmt.Printf("equilibrium    rho=%.4f, F(rho)=%.4f eV at a=%.3f Å\n", rho, fE, a0)
+
+	// Cohesive energy per atom of the perfect BCC crystal.
+	shells := []struct {
+		name string
+		n    int
+		r    float64
+	}{
+		{"1NN", 8, a0 * math.Sqrt(3) / 2},
+		{"2NN", 6, a0},
+		{"3NN", 12, a0 * math.Sqrt2},
+	}
+	var pair float64
+	if *verbose {
+		fmt.Println("\nshell breakdown:")
+	}
+	for _, sh := range shells {
+		phi, _ := pot.Pair(e, e, sh.r)
+		f, _ := pot.Density(e, e, sh.r)
+		pair += 0.5 * float64(sh.n) * phi
+		if *verbose {
+			fmt.Printf("  %s: %2d neighbors at %.4f Å, phi=%.4f eV, f=%.4f\n",
+				sh.name, sh.n, sh.r, phi, f)
+		}
+	}
+	fmt.Printf("cohesive       E = %.4f eV/atom (pair %.4f + embed %.4f)\n",
+		pair+fE, pair, fE)
+
+	if *export != "" {
+		out, err := os.Create(*export)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer out.Close()
+		single := eam.NewFe(eam.Compacted, *points)
+		if e == units.Cu {
+			fmt.Fprintln(os.Stderr, "note: setfl export writes the single-element Fe file")
+		}
+		if err := eam.WriteSetfl(out, single, *points); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("setfl          written to %s (%d points)\n", *export, *points)
+	}
+}

@@ -1,0 +1,57 @@
+package mdkmc_test
+
+import (
+	"fmt"
+
+	"mdkmc"
+)
+
+// The temporal-scale formula maps Monte Carlo time to experiment time; with
+// the paper's headline constants it gives 19.2 days.
+func ExampleTemporalScaleDays() {
+	days := mdkmc.TemporalScaleDays(2e-4, 2e-6, 600)
+	fmt.Printf("%.1f days\n", days)
+	// Output: 19.3 days
+}
+
+// Cluster analysis groups vacancy sites into connected components.
+func ExampleAnalyzeClusters() {
+	sites := []mdkmc.Coord{
+		{X: 3, Y: 3, Z: 3, B: 0},
+		{X: 3, Y: 3, Z: 3, B: 1}, // 1NN of the first: same cluster
+		{X: 0, Y: 0, Z: 0, B: 0}, // far away: its own cluster
+	}
+	a := mdkmc.AnalyzeClusters([3]int{8, 8, 8}, 2.855, sites, 1)
+	fmt.Printf("clusters=%d largest=%d\n", a.NumClusters, a.Largest)
+	// Output: clusters=2 largest=2
+}
+
+// A minimal MD run: a small thermalized iron crystal.
+func ExampleRunMD() {
+	cfg := mdkmc.DefaultMDConfig()
+	cfg.Cells = [3]int{6, 6, 6}
+	cfg.Steps = 10
+	cfg.TablePoints = 500
+	res, err := mdkmc.RunMD(cfg)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("atoms=%d bound=%v\n", res.Atoms, res.Potential < 0)
+	// Output: atoms=432 bound=true
+}
+
+// A minimal KMC run: vacancies diffusing on the lattice.
+func ExampleRunKMC() {
+	cfg := mdkmc.DefaultKMCConfig()
+	cfg.Cells = [3]int{12, 12, 12}
+	cfg.Vacancies = []int{0, 100, 2000}
+	cfg.VacancyConcentration = 0
+	res, err := mdkmc.RunKMC(cfg, 5, 0)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("vacancies=%d conserved=%v\n", res.Vacancies, res.Vacancies == 3)
+	// Output: vacancies=3 conserved=true
+}

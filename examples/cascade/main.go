@@ -1,0 +1,49 @@
+// Cascade: the defect-generation stage in detail. A primary knock-on atom
+// (PKA) is launched into a thermalized BCC iron crystal and the defect
+// population (vacancies + run-away atoms) is tracked step by step — the
+// process the paper's MD stage simulates at 4e12-atom scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mdkmc"
+	"mdkmc/internal/md"
+	"mdkmc/internal/mpi"
+)
+
+func main() {
+	cfg := mdkmc.DefaultMDConfig()
+	cfg.Cells = [3]int{12, 12, 12}
+	cfg.Temperature = 300
+	cfg.Dt = 2e-4
+	cfg.PKA = &mdkmc.PKA{Energy: 500, Direction: [3]float64{1, 0.35, 0.2}}
+
+	fmt.Printf("cascade in %d atoms of BCC Fe, %g eV recoil\n",
+		cfg.NumAtoms(), cfg.PKA.Energy)
+	fmt.Printf("%8s %12s %12s %12s %14s\n",
+		"step", "T (K)", "vacancies", "runaways", "energy (eV)")
+
+	w := mpi.NewWorld(1)
+	w.Run(func(c *mpi.Comm) {
+		rank, err := md.NewRank(cfg, c)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for step := 0; step <= 400; step++ {
+			if step%50 == 0 {
+				ke, pe := rank.TotalEnergy()
+				fmt.Printf("%8d %12.1f %12d %12d %14.3f\n",
+					step, rank.Temperature(),
+					rank.GlobalVacancyCount(),
+					md.CountOwnedRunaways(rank.Store),
+					ke+pe)
+			}
+			rank.Step()
+		}
+		sites := rank.OwnedVacancySites()
+		fmt.Printf("\nfinal defects: %d vacancies\n", len(sites))
+		fmt.Print(mdkmc.RenderVacancies(cfg.Cells, cfg.A, sites, 60, 20))
+	})
+}

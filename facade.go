@@ -1,0 +1,197 @@
+package mdkmc
+
+import (
+	"math"
+
+	"mdkmc/internal/cluster"
+	"mdkmc/internal/couple"
+	"mdkmc/internal/kmc"
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/md"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/units"
+)
+
+// Re-exported configuration and option types. The aliases keep the public
+// API in one import while the implementations live in internal packages.
+type (
+	// MDConfig configures a Molecular Dynamics run (see md.Config).
+	MDConfig = md.Config
+	// PKA configures the primary knock-on atom of a cascade.
+	PKA = md.PKA
+	// Berendsen configures the equilibration thermostat.
+	Berendsen = md.Berendsen
+	// KMCConfig configures a Kinetic Monte Carlo run (see kmc.Config).
+	KMCConfig = kmc.Config
+	// Protocol selects the KMC ghost-communication strategy.
+	Protocol = kmc.Protocol
+	// CoupledConfig configures the full MD→KMC pipeline.
+	CoupledConfig = couple.Config
+	// CoupledResult is the full-pipeline result.
+	CoupledResult = couple.Result
+	// ClusterAnalysis summarizes vacancy clustering.
+	ClusterAnalysis = cluster.Analysis
+	// CommStats counts messages and bytes exchanged.
+	CommStats = mpi.Stats
+	// Coord identifies a lattice site.
+	Coord = lattice.Coord
+)
+
+// KMC communication protocols (paper §2.2.1).
+const (
+	ProtocolTraditional      = kmc.Traditional
+	ProtocolOnDemand         = kmc.OnDemand
+	ProtocolOnDemandOneSided = kmc.OnDemandOneSided
+)
+
+// DefaultMDConfig returns the paper's iron setup at laptop scale.
+func DefaultMDConfig() MDConfig { return md.DefaultConfig() }
+
+// DefaultKMCConfig returns the paper's KMC setup at laptop scale.
+func DefaultKMCConfig() KMCConfig { return kmc.DefaultConfig() }
+
+// MDResult summarizes an MD run.
+type MDResult struct {
+	Atoms        int
+	Steps        int
+	Kinetic      float64 // eV
+	Potential    float64 // eV
+	Temperature  float64 // K
+	Vacancies    int
+	VacancySites []Coord
+	Comm         CommStats
+	Clusters     ClusterAnalysis
+}
+
+// RunMD builds the in-process world for cfg.Grid, advances cfg.Steps MD
+// steps on every rank, and returns the merged result.
+func RunMD(cfg MDConfig) (*MDResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &MDResult{Atoms: cfg.NumAtoms(), Steps: cfg.Steps}
+	var runErr error
+	w := mpi.NewWorld(cfg.Ranks())
+	w.Run(func(c *mpi.Comm) {
+		r, err := md.NewRank(cfg, c)
+		if err != nil {
+			if c.Rank() == 0 {
+				runErr = err
+			}
+			panic(err)
+		}
+		for i := 0; i < cfg.Steps; i++ {
+			r.Step()
+		}
+		ke, pe := r.TotalEnergy()
+		temp := r.Temperature()
+		vac := r.GlobalVacancyCount()
+		sites := gatherCoords(c, r.OwnedVacancySites())
+		if c.Rank() == 0 {
+			res.Kinetic = ke
+			res.Potential = pe
+			res.Temperature = temp
+			res.Vacancies = vac
+			res.VacancySites = sites
+			res.Comm = c.Stats
+			res.Clusters = cluster.Vacancies(r.L, sites, 2)
+		}
+	})
+	return res, runErr
+}
+
+// KMCResult summarizes a KMC run.
+type KMCResult struct {
+	Sites        int
+	Vacancies    int
+	Cycles       int
+	Events       int
+	MCTime       float64 // seconds of Monte Carlo time
+	RealTimeDays float64 // via the temporal-scale formula
+	VacancySites []Coord
+	Comm         CommStats
+	Clusters     ClusterAnalysis
+}
+
+// RunKMC builds the in-process world for cfg.Grid and runs cycles KMC
+// cycles (or until tThreshold MC seconds if positive).
+func RunKMC(cfg KMCConfig, cycles int, tThreshold float64) (*KMCResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if tThreshold <= 0 {
+		tThreshold = math.Inf(1)
+	}
+	res := &KMCResult{Sites: cfg.NumSites()}
+	w := mpi.NewWorld(cfg.Ranks())
+	w.Run(func(c *mpi.Comm) {
+		st, err := kmc.NewState(cfg, c)
+		if err != nil {
+			panic(err)
+		}
+		events := st.Run(tThreshold, cycles)
+		tot := c.Allreduce(mpi.Sum, float64(events))
+		vac := st.GlobalVacancyCount()
+		sites := gatherCoords(c, st.VacancySites())
+		if c.Rank() == 0 {
+			res.Vacancies = vac
+			res.Cycles = st.Cycles
+			res.Events = int(tot[0] + 0.5)
+			res.MCTime = st.Time
+			cMC := float64(vac) / float64(cfg.NumSites())
+			res.RealTimeDays = couple.TemporalScaleDays(st.Time, cMC,
+				units.VacancyFormationEnergyFe, cfg.Temperature)
+			res.VacancySites = sites
+			res.Comm = c.Stats
+			res.Clusters = cluster.Vacancies(st.L, sites, 2)
+		}
+	})
+	return res, nil
+}
+
+// RunCoupled executes the full MD→KMC pipeline (paper §2).
+func RunCoupled(cfg CoupledConfig) (*CoupledResult, error) { return couple.Run(cfg) }
+
+// TemporalScaleDays evaluates the paper's temporal-scale formula
+// t_real = t_threshold·C_MC/C_real in days (19.2 for the headline run).
+func TemporalScaleDays(tThreshold, cMC, temperature float64) float64 {
+	return couple.TemporalScaleDays(tThreshold, cMC,
+		units.VacancyFormationEnergyFe, temperature)
+}
+
+// AnalyzeClusters groups (wrapped) vacancy sites of an nx×ny×nz-cell box
+// into clusters joined within `shells` neighbor shells.
+func AnalyzeClusters(cells [3]int, a float64, sites []Coord, shells int) ClusterAnalysis {
+	l := lattice.New(cells[0], cells[1], cells[2], a)
+	return cluster.Vacancies(l, sites, shells)
+}
+
+// RenderVacancies projects vacancy sites onto an ASCII XY map (the
+// repository's stand-in for the paper's Figure 17 visualizations).
+func RenderVacancies(cells [3]int, a float64, sites []Coord, width, height int) string {
+	l := lattice.New(cells[0], cells[1], cells[2], a)
+	return cluster.Render(l, sites, width, height)
+}
+
+// gatherCoords collects every rank's coordinates on all ranks.
+func gatherCoords(c *mpi.Comm, own []lattice.Coord) []lattice.Coord {
+	var p []byte
+	for _, s := range own {
+		p = append(p,
+			byte(s.X), byte(s.X>>8), byte(s.X>>16), byte(s.X>>24),
+			byte(s.Y), byte(s.Y>>8), byte(s.Y>>16), byte(s.Y>>24),
+			byte(s.Z), byte(s.Z>>8), byte(s.Z>>16), byte(s.Z>>24),
+			byte(s.B))
+	}
+	var out []lattice.Coord
+	for _, buf := range c.Allgather(p) {
+		for off := 0; off+13 <= len(buf); off += 13 {
+			rd := func(o int) int32 {
+				return int32(buf[off+o]) | int32(buf[off+o+1])<<8 |
+					int32(buf[off+o+2])<<16 | int32(buf[off+o+3])<<24
+			}
+			out = append(out, lattice.Coord{X: rd(0), Y: rd(4), Z: rd(8), B: int8(buf[off+12])})
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package mdkmc_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mdkmc"
+)
+
+func TestRunMDQuick(t *testing.T) {
+	cfg := mdkmc.DefaultMDConfig()
+	cfg.Cells = [3]int{6, 6, 6}
+	cfg.Steps = 20
+	cfg.TablePoints = 500
+	res, err := mdkmc.RunMD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Atoms != 432 {
+		t.Errorf("atoms = %d", res.Atoms)
+	}
+	if res.Kinetic <= 0 {
+		t.Errorf("kinetic energy %v", res.Kinetic)
+	}
+	if res.Potential >= 0 {
+		t.Errorf("potential energy %v, want negative (bound crystal)", res.Potential)
+	}
+	if res.Temperature <= 0 {
+		t.Errorf("temperature %v", res.Temperature)
+	}
+}
+
+func TestRunMDRejectsInvalid(t *testing.T) {
+	cfg := mdkmc.DefaultMDConfig()
+	cfg.Dt = -1
+	if _, err := mdkmc.RunMD(cfg); err == nil {
+		t.Errorf("invalid config accepted")
+	}
+}
+
+func TestRunKMCQuick(t *testing.T) {
+	cfg := mdkmc.DefaultKMCConfig()
+	cfg.Cells = [3]int{12, 12, 12}
+	cfg.VacancyConcentration = 0.003
+	res, err := mdkmc.RunKMC(cfg, 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Vacancies == 0 || res.Events == 0 {
+		t.Errorf("vacancies=%d events=%d", res.Vacancies, res.Events)
+	}
+	if res.MCTime <= 0 || res.RealTimeDays <= 0 {
+		t.Errorf("times: mc=%v real=%v", res.MCTime, res.RealTimeDays)
+	}
+	if len(res.VacancySites) != res.Vacancies {
+		t.Errorf("site list %d vs count %d", len(res.VacancySites), res.Vacancies)
+	}
+}
+
+func TestRunCoupledQuick(t *testing.T) {
+	cfg := mdkmc.CoupledConfig{
+		MD: func() mdkmc.MDConfig {
+			m := mdkmc.DefaultMDConfig()
+			m.Cells = [3]int{10, 10, 10}
+			m.Temperature = 300
+			m.Dt = 2e-4
+			m.Steps = 120
+			m.TablePoints = 500
+			m.PKA = &mdkmc.PKA{Energy: 250}
+			return m
+		}(),
+		KMCCycles: 15,
+		Protocol:  mdkmc.ProtocolOnDemand,
+	}
+	res, err := mdkmc.RunCoupled(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VacanciesMD == 0 {
+		t.Fatalf("no vacancies from the cascade")
+	}
+	if res.VacanciesKMC != res.VacanciesMD {
+		t.Errorf("vacancy conservation: %d -> %d", res.VacanciesMD, res.VacanciesKMC)
+	}
+}
+
+func TestTemporalScaleHeadline(t *testing.T) {
+	days := mdkmc.TemporalScaleDays(2e-4, 2e-6, 600)
+	if math.Abs(days-19.2) > 0.2 {
+		t.Errorf("headline temporal scale %.2f days, paper 19.2", days)
+	}
+}
+
+func TestAnalyzeAndRender(t *testing.T) {
+	sites := []mdkmc.Coord{
+		{X: 1, Y: 1, Z: 1, B: 0},
+		{X: 1, Y: 1, Z: 1, B: 1},
+		{X: 4, Y: 4, Z: 4, B: 0},
+	}
+	a := mdkmc.AnalyzeClusters([3]int{6, 6, 6}, 2.855, sites, 1)
+	if a.NumClusters != 2 || a.Largest != 2 {
+		t.Errorf("analysis %+v", a)
+	}
+	img := mdkmc.RenderVacancies([3]int{6, 6, 6}, 2.855, sites, 20, 10)
+	if !strings.Contains(img, "1") && !strings.Contains(img, "2") {
+		t.Errorf("render shows no vacancies:\n%s", img)
+	}
+}

@@ -1,0 +1,3 @@
+module mdkmc
+
+go 1.22

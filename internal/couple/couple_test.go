@@ -1,0 +1,100 @@
+package couple
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mdkmc/internal/kmc"
+	"mdkmc/internal/md"
+	"mdkmc/internal/units"
+)
+
+func TestTemporalScaleReproducesPaper(t *testing.T) {
+	// The paper's headline: t_threshold = 2e-4, C_MC = 2e-6, T = 600 K
+	// gives a temporal scale of 19.2 days.
+	days := TemporalScaleDays(2e-4, 2e-6, units.VacancyFormationEnergyFe, 600)
+	if math.Abs(days-19.2) > 0.2 {
+		t.Errorf("temporal scale = %.2f days, paper says 19.2", days)
+	}
+}
+
+func TestTemporalScaleMonotonicity(t *testing.T) {
+	base := TemporalScale(2e-4, 2e-6, 1.86, 600)
+	// Higher MC concentration -> longer real span.
+	if TemporalScale(2e-4, 4e-6, 1.86, 600) <= base {
+		t.Errorf("not increasing in C_MC")
+	}
+	// Higher temperature -> higher real vacancy concentration -> shorter.
+	if TemporalScale(2e-4, 2e-6, 1.86, 900) >= base {
+		t.Errorf("not decreasing in temperature")
+	}
+	// Higher formation energy -> rarer real vacancies -> longer.
+	if TemporalScale(2e-4, 2e-6, 2.2, 600) <= base {
+		t.Errorf("not increasing in formation energy")
+	}
+}
+
+func coupledConfig() Config {
+	mcfg := md.DefaultConfig()
+	mcfg.Cells = [3]int{11, 11, 11}
+	mcfg.Temperature = 300
+	mcfg.Dt = 2e-4
+	mcfg.Steps = 150
+	mcfg.PKA = &md.PKA{Energy: 300}
+	mcfg.TablePoints = 500
+	return Config{MD: mcfg, KMCCycles: 30, Protocol: kmc.OnDemand}
+}
+
+func TestCoupledPipelineEndToEnd(t *testing.T) {
+	res, err := Run(coupledConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VacanciesMD == 0 {
+		t.Fatalf("cascade produced no vacancies")
+	}
+	if res.VacanciesKMC != res.VacanciesMD {
+		t.Errorf("KMC changed vacancy count: %d -> %d", res.VacanciesMD, res.VacanciesKMC)
+	}
+	if res.KMCEvents == 0 {
+		t.Errorf("KMC executed no events")
+	}
+	if res.MCTime <= 0 {
+		t.Errorf("MC time %v", res.MCTime)
+	}
+	if res.RealTimeDays <= 0 {
+		t.Errorf("real time %v days", res.RealTimeDays)
+	}
+	if res.BeforeKMC.NumVacancies != res.VacanciesMD {
+		t.Errorf("before-analysis count %d vs %d", res.BeforeKMC.NumVacancies, res.VacanciesMD)
+	}
+	if len(res.AfterSites) != res.VacanciesKMC {
+		t.Errorf("after-site list %d vs %d", len(res.AfterSites), res.VacanciesKMC)
+	}
+	if !strings.Contains(res.String(), "days") {
+		t.Errorf("String() = %q", res.String())
+	}
+}
+
+func TestCoupledPipelineParallel(t *testing.T) {
+	cfg := coupledConfig()
+	cfg.MD.Cells = [3]int{22, 11, 11}
+	cfg.MD.Grid = [3]int{2, 1, 1}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VacanciesMD == 0 || res.VacanciesKMC != res.VacanciesMD {
+		t.Errorf("parallel pipeline defect accounting: md=%d kmc=%d",
+			res.VacanciesMD, res.VacanciesKMC)
+	}
+}
+
+func TestRunValidatesConfig(t *testing.T) {
+	cfg := coupledConfig()
+	cfg.MD.Dt = 0
+	if _, err := Run(cfg); err == nil {
+		t.Errorf("invalid MD config accepted")
+	}
+}

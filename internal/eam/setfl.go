@@ -1,0 +1,187 @@
+package eam
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"mdkmc/internal/units"
+)
+
+// WriteSetfl serializes a single-species potential in the DYNAMO/LAMMPS
+// "setfl" (eam/alloy) text format: three comment lines, the element list,
+// the table dimensions, then per element F(ρ) and f(r), then the pair
+// table as r·φ(r). Production potentials are distributed in this format;
+// the writer and reader let the repository round-trip its analytic
+// potential through the same file interface a production code would use.
+func WriteSetfl(w io.Writer, p *Potential, points int) error {
+	if points < 8 {
+		return fmt.Errorf("eam: setfl needs >= 8 points, got %d", points)
+	}
+	if len(p.Elements) != 1 {
+		return fmt.Errorf("eam: setfl writer supports one element, potential has %d", len(p.Elements))
+	}
+	e := p.Elements[0]
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "mdkmc analytic potential export")
+	fmt.Fprintln(bw, "Finnis-Sinclair form with ZBL core; see internal/eam")
+	fmt.Fprintln(bw, "generated for round-trip testing and tool interchange")
+	fmt.Fprintf(bw, "1 %s\n", e)
+	drho := p.RhoMax() / float64(points-1)
+	dr := p.Cutoff / float64(points-1)
+	fmt.Fprintf(bw, "%d %.16g %d %.16g %.16g\n", points, drho, points, dr, p.Cutoff)
+	// Element header: atomic number, mass, lattice constant, structure.
+	z := 26
+	if e == units.Cu {
+		z = 29
+	}
+	fmt.Fprintf(bw, "%d %.6f %.6f %s\n", z, e.MassAMU(), units.LatticeConstantFe, "BCC")
+	// F(rho).
+	for i := 0; i < points; i++ {
+		v, _ := p.Embed(e, float64(i)*drho)
+		fmt.Fprintf(bw, "%.16g\n", v)
+	}
+	// f(r).
+	for i := 0; i < points; i++ {
+		v, _ := p.Density(e, e, float64(i)*dr)
+		fmt.Fprintf(bw, "%.16g\n", v)
+	}
+	// r*phi(r).
+	for i := 0; i < points; i++ {
+		r := float64(i) * dr
+		v, _ := p.Pair(e, e, r)
+		fmt.Fprintf(bw, "%.16g\n", r*v)
+	}
+	return bw.Flush()
+}
+
+// SetflTables is a potential read back from a setfl file: plain compacted
+// value tables plus the grid metadata.
+type SetflTables struct {
+	Element units.Element
+	MassAMU float64
+	Cutoff  float64
+	Embed   *Table // F(ρ) on [0, (n-1)·dρ]
+	Density *Table // f(r) on [0, cutoff]
+	RPhi    *Table // r·φ(r) on [0, cutoff]
+}
+
+// Pair evaluates φ(r) and its derivative from the r·φ table.
+func (t *SetflTables) Pair(r float64) (v, dv float64) {
+	if r <= 0 || r >= t.Cutoff {
+		return 0, 0
+	}
+	rp, drp := t.RPhi.Eval(r)
+	v = rp / r
+	dv = (drp - v) / r
+	return
+}
+
+// ReadSetfl parses a single-element setfl stream.
+func ReadSetfl(r io.Reader) (*SetflTables, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := func() (string, error) {
+		for sc.Scan() {
+			s := strings.TrimSpace(sc.Text())
+			if s != "" {
+				return s, nil
+			}
+		}
+		if err := sc.Err(); err != nil {
+			return "", err
+		}
+		return "", io.ErrUnexpectedEOF
+	}
+	// Three comment lines.
+	for i := 0; i < 3; i++ {
+		if _, err := line(); err != nil {
+			return nil, fmt.Errorf("eam: setfl header: %w", err)
+		}
+	}
+	elemLine, err := line()
+	if err != nil {
+		return nil, err
+	}
+	fields := strings.Fields(elemLine)
+	if len(fields) != 2 || fields[0] != "1" {
+		return nil, fmt.Errorf("eam: setfl reader supports exactly one element, got %q", elemLine)
+	}
+	var elem units.Element
+	switch fields[1] {
+	case "Fe":
+		elem = units.Fe
+	case "Cu":
+		elem = units.Cu
+	default:
+		return nil, fmt.Errorf("eam: unknown element %q", fields[1])
+	}
+	dims, err := line()
+	if err != nil {
+		return nil, err
+	}
+	df := strings.Fields(dims)
+	if len(df) != 5 {
+		return nil, fmt.Errorf("eam: malformed dimension line %q", dims)
+	}
+	nrho, err1 := strconv.Atoi(df[0])
+	drho, err2 := strconv.ParseFloat(df[1], 64)
+	nr, err3 := strconv.Atoi(df[2])
+	dr, err4 := strconv.ParseFloat(df[3], 64)
+	cutoff, err5 := strconv.ParseFloat(df[4], 64)
+	for _, e := range []error{err1, err2, err3, err4, err5} {
+		if e != nil {
+			return nil, fmt.Errorf("eam: dimension line %q: %w", dims, e)
+		}
+	}
+	if nrho < 8 || nr < 8 || drho <= 0 || dr <= 0 || cutoff <= 0 {
+		return nil, fmt.Errorf("eam: implausible dimensions %q", dims)
+	}
+	hdr, err := line()
+	if err != nil {
+		return nil, err
+	}
+	hf := strings.Fields(hdr)
+	if len(hf) != 4 {
+		return nil, fmt.Errorf("eam: malformed element header %q", hdr)
+	}
+	mass, err := strconv.ParseFloat(hf[1], 64)
+	if err != nil {
+		return nil, err
+	}
+
+	// The numeric body: values may be one-per-line or space-separated.
+	var values []float64
+	need := nrho + 2*nr
+	for len(values) < need {
+		s, err := line()
+		if err != nil {
+			return nil, fmt.Errorf("eam: setfl body ended after %d of %d values", len(values), need)
+		}
+		for _, f := range strings.Fields(s) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("eam: bad value %q: %w", f, err)
+			}
+			values = append(values, v)
+		}
+	}
+	if len(values) != need {
+		return nil, fmt.Errorf("eam: setfl body has %d values, want %d", len(values), need)
+	}
+	mk := func(vals []float64, dx float64) *Table {
+		return &Table{X0: 0, Dx: dx, S: append([]float64(nil), vals...)}
+	}
+	// The Table type stores n+1 samples for n segments; the setfl grid of N
+	// points maps to N-1 segments.
+	return &SetflTables{
+		Element: elem,
+		MassAMU: mass,
+		Cutoff:  cutoff,
+		Embed:   mk(values[:nrho], drho),
+		Density: mk(values[nrho:nrho+nr], dr),
+		RPhi:    mk(values[nrho+nr:], dr),
+	}, nil
+}

@@ -1,0 +1,98 @@
+package eam
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mdkmc/internal/units"
+)
+
+func TestSetflRoundTrip(t *testing.T) {
+	p := NewFe(Compacted, 1000)
+	var sb strings.Builder
+	if err := WriteSetfl(&sb, p, 2000); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetfl(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Element != units.Fe {
+		t.Errorf("element %v", back.Element)
+	}
+	if math.Abs(back.MassAMU-55.845) > 1e-3 {
+		t.Errorf("mass %v", back.MassAMU)
+	}
+	if math.Abs(back.Cutoff-p.Cutoff) > 1e-12 {
+		t.Errorf("cutoff %v vs %v", back.Cutoff, p.Cutoff)
+	}
+	// The read-back tables must reproduce the source potential.
+	for _, r := range []float64{0.8, 1.5, 2.2, 2.855, 3.3} {
+		want, _ := p.Pair(units.Fe, units.Fe, r)
+		got, _ := back.Pair(r)
+		tol := 1e-6 * math.Max(1, math.Abs(want))
+		if math.Abs(got-want) > tol {
+			t.Errorf("pair at r=%v: %v vs %v", r, got, want)
+		}
+		wantF, _ := p.Density(units.Fe, units.Fe, r)
+		gotF, _ := back.Density.Eval(r)
+		if math.Abs(gotF-wantF) > 1e-7 {
+			t.Errorf("density at r=%v: %v vs %v", r, gotF, wantF)
+		}
+	}
+	for _, rho := range []float64{0.5, 2, 10} {
+		want, _ := p.Embed(units.Fe, rho)
+		got, _ := back.Embed.Eval(rho)
+		if math.Abs(got-want) > 1e-5 {
+			t.Errorf("embed at rho=%v: %v vs %v", rho, got, want)
+		}
+	}
+}
+
+func TestSetflPairDerivative(t *testing.T) {
+	p := NewFe(Compacted, 1000)
+	var sb strings.Builder
+	if err := WriteSetfl(&sb, p, 4000); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSetfl(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []float64{1.2, 2.0, 2.9} {
+		_, dv := back.Pair(r)
+		f := func(x float64) float64 { v, _ := back.Pair(x); return v }
+		nd := (f(r+1e-6) - f(r-1e-6)) / 2e-6
+		if math.Abs(dv-nd) > 1e-4*math.Max(1, math.Abs(nd)) {
+			t.Errorf("r=%v: dv=%v numeric=%v", r, dv, nd)
+		}
+	}
+}
+
+func TestSetflWriterValidation(t *testing.T) {
+	p := NewFe(Compacted, 256)
+	var sb strings.Builder
+	if err := WriteSetfl(&sb, p, 4); err == nil {
+		t.Errorf("tiny point count accepted")
+	}
+	alloy := NewFeCu(Compacted, 256)
+	if err := WriteSetfl(&sb, alloy, 100); err == nil {
+		t.Errorf("multi-element potential accepted by single-element writer")
+	}
+}
+
+func TestSetflReaderRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"a\nb\nc\n2 Fe Cu\n",             // two elements
+		"a\nb\nc\n1 Xx\n",                // unknown element
+		"a\nb\nc\n1 Fe\n10 0.1 10 0.1\n", // short dimension line
+		"a\nb\nc\n1 Fe\n10 0.1 10 0.1 3.4\n26 55.8 2.855 BCC\n1 2 3\n", // truncated body
+	}
+	for i, c := range cases {
+		if _, err := ReadSetfl(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}

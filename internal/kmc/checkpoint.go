@@ -1,0 +1,71 @@
+package kmc
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"mdkmc/internal/lattice"
+)
+
+// checkpoint is the serialized per-rank KMC state. Geometry and plans are
+// rebuilt from the Config on restore; occupancy, densities and the clock
+// are carried over, so the continued trajectory — whose RNG streams are a
+// pure function of (seed, rank, cycle, sector) — is bit-identical to an
+// uninterrupted run.
+type checkpoint struct {
+	Version int
+	Rank    int
+	Occ     []uint8
+	Rho     []float64
+	Time    float64
+	Cycles  int
+}
+
+const checkpointVersion = 1
+
+// Save writes this rank's mutable state; call it at a cycle boundary (the
+// dirty set must be empty, which Cycle guarantees on return).
+func (st *State) Save(w io.Writer) error {
+	if len(st.dirty) != 0 {
+		return fmt.Errorf("kmc: checkpoint requested mid-sector (%d dirty sites)", len(st.dirty))
+	}
+	return gob.NewEncoder(w).Encode(checkpoint{
+		Version: checkpointVersion,
+		Rank:    st.Comm.Rank(),
+		Occ:     st.Occ,
+		Rho:     st.Rho,
+		Time:    st.Time,
+		Cycles:  st.Cycles,
+	})
+}
+
+// Restore loads state written by Save into a state built with the same
+// Config and world size.
+func (st *State) Restore(rd io.Reader) error {
+	var cp checkpoint
+	if err := gob.NewDecoder(rd).Decode(&cp); err != nil {
+		return fmt.Errorf("kmc: decoding checkpoint: %w", err)
+	}
+	if cp.Version != checkpointVersion {
+		return fmt.Errorf("kmc: checkpoint version %d, want %d", cp.Version, checkpointVersion)
+	}
+	if cp.Rank != st.Comm.Rank() {
+		return fmt.Errorf("kmc: checkpoint is for rank %d, this is rank %d", cp.Rank, st.Comm.Rank())
+	}
+	if len(cp.Occ) != len(st.Occ) {
+		return fmt.Errorf("kmc: checkpoint has %d sites, state has %d", len(cp.Occ), len(st.Occ))
+	}
+	copy(st.Occ, cp.Occ)
+	copy(st.Rho, cp.Rho)
+	st.Time = cp.Time
+	st.Cycles = cp.Cycles
+	// Rebuild the owned-vacancy index from the restored occupancy.
+	st.ownedVac = make(map[int]bool)
+	st.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if st.Occ[local] == Vacant {
+			st.ownedVac[local] = true
+		}
+	})
+	return nil
+}

@@ -1,0 +1,75 @@
+package kmc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestCheckpointResumeIdentical: the resumed trajectory matches the
+// uninterrupted one exactly (occupancies and clock).
+func TestCheckpointResumeIdentical(t *testing.T) {
+	cfg := testConfig()
+
+	var straight map[int]uint8
+	var straightTime float64
+	runWorld(t, cfg, func(st *State) {
+		for i := 0; i < 16; i++ {
+			st.Cycle()
+		}
+		straight = st.Snapshot()
+		straightTime = st.Time
+	})
+
+	var blob bytes.Buffer
+	runWorld(t, cfg, func(st *State) {
+		for i := 0; i < 7; i++ {
+			st.Cycle()
+		}
+		if err := st.Save(&blob); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+
+	runWorld(t, cfg, func(st *State) {
+		if err := st.Restore(bytes.NewReader(blob.Bytes())); err != nil {
+			t.Errorf("restore: %v", err)
+			return
+		}
+		if st.Cycles != 7 {
+			t.Errorf("restored cycle count %d", st.Cycles)
+		}
+		for i := 0; i < 9; i++ {
+			st.Cycle()
+		}
+		if st.Time != straightTime {
+			t.Errorf("resumed time %v vs straight %v", st.Time, straightTime)
+		}
+		snap := st.Snapshot()
+		diff := 0
+		for k, v := range straight {
+			if snap[k] != v {
+				diff++
+			}
+		}
+		if diff != 0 {
+			t.Errorf("resumed trajectory differs at %d sites", diff)
+		}
+	})
+}
+
+func TestCheckpointRejectsWrongGeometry(t *testing.T) {
+	var blob bytes.Buffer
+	cfg := testConfig()
+	runWorld(t, cfg, func(st *State) {
+		if err := st.Save(&blob); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+	big := testConfig()
+	big.Cells = [3]int{14, 14, 14}
+	runWorld(t, big, func(st *State) {
+		if err := st.Restore(bytes.NewReader(blob.Bytes())); err == nil {
+			t.Errorf("mismatched geometry accepted")
+		}
+	})
+}

@@ -1,0 +1,192 @@
+package kmc
+
+import (
+	"math"
+	"sort"
+
+	"mdkmc/internal/eam"
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/units"
+)
+
+// Occupancy codes. KMC is on-lattice: every site is a vacancy or an atom of
+// one of the supported species (the AKMC "sites" of the paper; Cu enables
+// the alloy path and the copper-precipitation scenario).
+const (
+	Vacant uint8 = 0
+	Atom   uint8 = 1 // iron
+	CuAtom uint8 = 2 // copper
+)
+
+// numSpecies is the number of occupancy codes (including Vacant).
+const numSpecies = 3
+
+// elementOf maps an occupancy code to its element; only valid for atoms.
+func elementOf(occ uint8) units.Element {
+	if occ == CuAtom {
+		return units.Cu
+	}
+	return units.Fe
+}
+
+// shellTables holds the EAM pair and density values precomputed per offset
+// of the neighbor table — the on-lattice specialization: atoms sit on ideal
+// sites, so only a handful of distinct separations occur and every table
+// query collapses to an indexed load ("#3: Compute EAM potential for each
+// atom" at on-lattice cost).
+//
+// The pair term depends on both species; in the Finnis-Sinclair form the
+// density contribution depends only on the source species, which is what
+// keeps the incremental ρ maintenance simple.
+type shellTables struct {
+	tab *lattice.OffsetTable
+	// phi[a][b][basis][k]: pair energy between species codes a and b at
+	// offset k from a central site of the given basis.
+	phi [numSpecies][numSpecies][2][]float64
+	// f[src][basis][k]: density contributed by a source atom of the given
+	// species code.
+	f [numSpecies][2][]float64
+}
+
+func newShellTables(pot *eam.Potential, tab *lattice.OffsetTable) *shellTables {
+	st := &shellTables{tab: tab}
+	species := []uint8{Atom}
+	for _, e := range pot.Elements {
+		if e == units.Cu {
+			species = append(species, CuAtom)
+		}
+	}
+	for b := 0; b < 2; b++ {
+		offs := tab.PerBase[b]
+		for _, sa := range species {
+			st.f[sa][b] = make([]float64, len(offs))
+			for _, sb := range species {
+				st.phi[sa][sb][b] = make([]float64, len(offs))
+			}
+		}
+		for k, o := range offs {
+			for _, sa := range species {
+				fv, _ := pot.Density(units.Fe, elementOf(sa), o.R)
+				st.f[sa][b][k] = fv
+				for _, sb := range species {
+					pv, _ := pot.Pair(elementOf(sa), elementOf(sb), o.R)
+					st.phi[sa][sb][b][k] = pv
+				}
+			}
+		}
+	}
+	return st
+}
+
+// fval returns the density contribution of a source site with the given
+// occupancy code at offset k (zero for vacancies and for species the
+// potential was not built with).
+func (st *shellTables) fval(occ uint8, basis, k int) float64 {
+	f := st.f[occ][basis]
+	if f == nil {
+		return 0
+	}
+	return f[k]
+}
+
+// energetics evaluates swap energy differences over the occupancy state.
+type energetics struct {
+	pot    *eam.Potential
+	shells *shellTables
+}
+
+// embed returns F_a(ρ) for an atom of species code a.
+func (e *energetics) embed(a uint8, rho float64) float64 {
+	v, _ := e.pot.Embed(elementOf(a), rho)
+	return v
+}
+
+// swapDeltaE returns the total-energy change of moving the atom at site n
+// into the vacancy at site s (both given as local indices with their lattice
+// coordinates). occ and rho are the current local state; rho must be valid
+// for every site within the interaction cutoff of s or n.
+//
+// Only s and n change occupancy, so with the moving atom's species m:
+//
+//	ΔE_pair  = Σ_j φ_{m,tj}(r_sj) − Σ_j φ_{m,tj}(r_nj)   (j ≠ s,n occupied)
+//	ΔE_embed = Σ_i [F_{ti}(ρ_i ± f_m) − F_{ti}(ρ_i)]     (i occupied near s or n)
+//	         + F_m(ρ'_atom at s) − F_m(ρ_atom at n)
+func (e *energetics) swapDeltaE(st *State, s, n int, cs, cn lattice.Coord) float64 {
+	occ, rho := st.Occ, st.Rho
+	m := occ[n] // species of the moving atom
+
+	var dPair float64
+	// Pair sums around the destination s (gains) and origin n (losses).
+	for k, d := range st.deltas[cs.B] {
+		j := s + int(d)
+		if j != n && occ[j] != Vacant {
+			dPair += e.shells.phi[m][occ[j]][cs.B][k]
+		}
+	}
+	for k, d := range st.deltas[cn.B] {
+		j := n + int(d)
+		if j != s && occ[j] != Vacant {
+			dPair -= e.shells.phi[m][occ[j]][cn.B][k]
+		}
+	}
+
+	// Embedding changes of the bystanders: every occupied site i near s
+	// gains f_m(r_is); every occupied site i near n loses f_m(r_in).
+	// Collect the deltas first because a site can neighbor both.
+	type bump struct {
+		site  int
+		delta float64
+	}
+	bumps := make([]bump, 0, 128)
+	fm := e.shells.f[m]
+	for k, d := range st.deltas[cs.B] {
+		j := s + int(d)
+		if j != n && occ[j] != Vacant {
+			bumps = append(bumps, bump{j, fm[cs.B][k]})
+		}
+	}
+	for k, d := range st.deltas[cn.B] {
+		j := n + int(d)
+		if j != s && occ[j] != Vacant {
+			bumps = append(bumps, bump{j, -fm[cn.B][k]})
+		}
+	}
+	// Merge duplicates (sites near both s and n) in deterministic site
+	// order, so the floating-point sum is reproducible across protocols.
+	sort.Slice(bumps, func(i, j int) bool { return bumps[i].site < bumps[j].site })
+	var dEmbed float64
+	for i := 0; i < len(bumps); {
+		site := bumps[i].site
+		delta := 0.0
+		for ; i < len(bumps) && bumps[i].site == site; i++ {
+			delta += bumps[i].delta
+		}
+		if delta != 0 {
+			dEmbed += e.embed(occ[site], rho[site]+delta) - e.embed(occ[site], rho[site])
+		}
+	}
+
+	// The moving atom itself: before, embedded at n; after, at s with n
+	// vacated. Density contributions depend on the *sources* around it.
+	rhoBefore := rho[n] // ρ at n excludes n itself by construction
+	rhoAfter := 0.0
+	for k, d := range st.deltas[cs.B] {
+		j := s + int(d)
+		if j != n && occ[j] != Vacant {
+			rhoAfter += e.shells.f[occ[j]][cs.B][k]
+		}
+	}
+	dEmbed += e.embed(m, rhoAfter) - e.embed(m, rhoBefore)
+	return dPair + dEmbed
+}
+
+// hopRate returns the transition rate of a hop with energy difference dE,
+// using the kinetically-resolved activation barrier ΔE* = Em + dE/2,
+// floored at a small positive value so rates stay finite and positive.
+func hopRate(nu, em, kBT, dE float64) float64 {
+	barrier := em + dE/2
+	if barrier < 0.01 {
+		barrier = 0.01
+	}
+	return nu * math.Exp(-barrier/kBT)
+}

@@ -1,0 +1,166 @@
+package kmc
+
+import (
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+)
+
+// event is one possible vacancy hop: the atom at target moves into the
+// vacancy at site.
+type event struct {
+	site   int // owned vacancy, local index
+	target int // occupied 1NN, local index (possibly a ghost)
+	rate   float64
+}
+
+// sectorEvents enumerates, in deterministic order, every possible event
+// whose vacancy lies in sector sec, and returns the events plus their total
+// rate — steps #3/#4 of the paper's Figure 7 flowchart.
+func (st *State) sectorEvents(sec int) ([]event, float64) {
+	var evs []event
+	var total float64
+	for _, v := range st.OwnedVacancies() {
+		cv := st.Box.GlobalCoord(v)
+		if st.sectorOf(cv) != sec {
+			continue
+		}
+		basis := int8(v & 1)
+		for k, d := range st.shell1[basis] {
+			n := v + int(d)
+			if st.Occ[n] == Vacant {
+				continue // vacancy-vacancy exchange is a no-op
+			}
+			off := st.Tab.PerBase[basis][k]
+			cn := off.Apply(cv)
+			dE := st.en.swapDeltaE(st, v, n, cv, cn)
+			rate := hopRate(st.Cfg.Nu, st.emFor(st.Occ[n]), st.kBT, dE)
+			evs = append(evs, event{site: v, target: n, rate: rate})
+			total += rate
+		}
+	}
+	return evs, total
+}
+
+// TotalRate returns the total transition rate of the whole subdomain (all
+// sectors) — the quantity the synchronous time window is derived from.
+func (st *State) TotalRate() float64 {
+	var total float64
+	for sec := 0; sec < 8; sec++ {
+		_, r := st.sectorEvents(sec)
+		total += r
+	}
+	return total
+}
+
+// runSector performs KMC within sector sec for the time window dt (step #5),
+// using a stream derived from (seed, rank, cycle, sector) so trajectories
+// are independent of the communication protocol and the schedule.
+func (st *State) runSector(sec int, dt float64) int {
+	src := st.rng.Derive(uint64(st.Comm.Rank()), uint64(st.Cycles), uint64(sec))
+	events := 0
+	tloc := 0.0
+	for {
+		evs, total := st.sectorEvents(sec)
+		if total <= 0 {
+			break
+		}
+		tloc += src.Exp() / total
+		if tloc > dt {
+			break
+		}
+		// Select the event proportionally to its rate.
+		u := src.Float64() * total
+		acc := 0.0
+		chosen := evs[len(evs)-1]
+		for _, ev := range evs {
+			acc += ev.rate
+			if u < acc {
+				chosen = ev
+				break
+			}
+		}
+		// Apply the swap: the moving atom (of whatever species) fills the
+		// vacancy, which moves to the target site.
+		moving := st.Occ[chosen.target]
+		st.setOcc(chosen.site, moving, true)
+		st.setOcc(chosen.target, Vacant, true)
+		events++
+	}
+	return events
+}
+
+// Cycle advances the synchronous sublattice algorithm by one full pass over
+// the eight sectors (steps #1-#9 of Figure 7) and returns the number of
+// events executed on this rank.
+func (st *State) Cycle() int {
+	// #1: the synchronous time window, from the globally slowest subdomain.
+	rmax := st.Comm.Allreduce(mpi.Max, st.TotalRate())[0]
+	var dt float64
+	if rmax > 0 {
+		dt = st.Cfg.DtFactor / rmax
+	} else {
+		// No mobile vacancy anywhere; advance time by a nominal window.
+		dt = st.Cfg.DtFactor / st.Cfg.Nu * 1e6
+	}
+	events := 0
+	for sec := 0; sec < 8; sec++ {
+		if st.Cfg.Protocol == Traditional {
+			// #6a: refresh the sector's read halo.
+			st.exchangeGetSector(sec)
+		}
+		events += st.runSector(sec, dt)
+		// #6b: publish this sector's updates.
+		if st.Cfg.Protocol == Traditional {
+			st.exchangePutSector(sec)
+		} else {
+			st.flushOnDemand()
+		}
+	}
+	st.Time += dt
+	st.Cycles++
+	return events
+}
+
+// Run executes cycles until the MC time threshold is reached or maxCycles
+// cycles have run (whichever first), returning total events on this rank.
+func (st *State) Run(tThreshold float64, maxCycles int) int {
+	events := 0
+	for st.Time < tThreshold && st.Cycles < maxCycles {
+		events += st.Cycle()
+	}
+	return events
+}
+
+// Snapshot returns the owned occupancy keyed by wrapped global site index —
+// the cross-protocol equivalence tests compare these.
+func (st *State) Snapshot() map[int]uint8 {
+	out := make(map[int]uint8)
+	st.Box.EachOwned(func(c lattice.Coord, local int) {
+		out[st.L.Index(st.L.Wrap(c))] = st.Occ[local]
+	})
+	return out
+}
+
+// TotalEnergy returns the global EAM energy of the occupancy state
+// (collective): Σ_i [F(ρ_i) + ½ Σ_j φ_{t_i t_j}(r_ij)] over occupied sites.
+// It is an analysis helper (binding/precipitation tests), not part of the
+// hot path.
+func (st *State) TotalEnergy() float64 {
+	var local float64
+	sh := st.en.shells
+	st.Box.EachOwned(func(c lattice.Coord, i int) {
+		ti := st.Occ[i]
+		if ti == Vacant {
+			return
+		}
+		e, _ := st.Pot.Embed(elementOf(ti), st.Rho[i])
+		for k, d := range st.deltas[c.B] {
+			j := i + int(d)
+			if tj := st.Occ[j]; tj != Vacant {
+				e += 0.5 * sh.phi[ti][tj][c.B][k]
+			}
+		}
+		local += e
+	})
+	return st.Comm.Allreduce(mpi.Sum, local)[0]
+}

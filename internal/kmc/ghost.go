@@ -1,0 +1,224 @@
+package kmc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+)
+
+// Message tags of the KMC protocols.
+const (
+	tagKReq = iota + 200
+	tagKGet
+	tagKPut
+	tagKDirty
+)
+
+// vacancySeedSalt derives the vacancy-placement RNG stream.
+const vacancySeedSalt = 0xFACC
+
+// packer/unpacker: minimal little-endian serialization for the KMC wire
+// formats (cell coordinates, occupancy bytes).
+type packer struct{ buf []byte }
+
+func (p *packer) u8(v uint8) { p.buf = append(p.buf, v) }
+func (p *packer) i32(v int32) {
+	p.buf = binary.LittleEndian.AppendUint32(p.buf, uint32(v))
+}
+
+type unpacker struct {
+	buf []byte
+	off int
+}
+
+func (u *unpacker) u8() uint8 {
+	v := u.buf[u.off]
+	u.off++
+	return v
+}
+func (u *unpacker) i32() int32 {
+	v := binary.LittleEndian.Uint32(u.buf[u.off:])
+	u.off += 4
+	return int32(v)
+}
+func (u *unpacker) done() bool { return u.off >= len(u.buf) }
+
+// exchangeGetSector refreshes the read halo of sector sec from the owning
+// ranks — the first half of the traditional protocol (paper Figure 8(b)).
+// The complete halo band travels regardless of what actually changed; that
+// redundancy is precisely what Figure 12 measures.
+func (st *State) exchangeGetSector(sec int) {
+	for _, peer := range st.peers {
+		cells := st.getSend[sec][peer]
+		if len(cells) == 0 {
+			continue
+		}
+		var p packer
+		for _, base := range cells {
+			p.u8(st.Occ[base])
+			p.u8(st.Occ[base+1])
+		}
+		st.Comm.Send(peer, tagKGet, p.buf)
+	}
+	for _, peer := range st.peers {
+		cells := st.getRecv[sec][peer]
+		if len(cells) == 0 {
+			continue
+		}
+		data, _ := st.Comm.Recv(peer, tagKGet)
+		u := unpacker{buf: data}
+		for _, base := range cells {
+			st.setOcc(base, u.u8(), false)
+			st.setOcc(base+1, u.u8(), false)
+		}
+		if !u.done() {
+			panic("kmc: trailing bytes in sector ghost get")
+		}
+	}
+}
+
+// exchangePutSector pushes the one-cell write band of sector sec back to the
+// owners — the second half of the traditional protocol (Figure 8(c)). Only
+// the active sector's band travels, so no two ranks write the same cell in
+// the same phase (the synchronous-sublattice separation property).
+func (st *State) exchangePutSector(sec int) {
+	for _, peer := range st.peers {
+		cells := st.putSend[sec][peer]
+		if len(cells) == 0 {
+			continue
+		}
+		var p packer
+		for _, base := range cells {
+			p.u8(st.Occ[base])
+			p.u8(st.Occ[base+1])
+		}
+		st.Comm.Send(peer, tagKPut, p.buf)
+	}
+	for _, peer := range st.peers {
+		cells := st.putRecv[sec][peer]
+		if len(cells) == 0 {
+			continue
+		}
+		data, _ := st.Comm.Recv(peer, tagKPut)
+		u := unpacker{buf: data}
+		for _, base := range cells {
+			st.setOcc(base, u.u8(), false)
+			st.setOcc(base+1, u.u8(), false)
+		}
+		if !u.done() {
+			panic("kmc: trailing bytes in sector ghost put")
+		}
+	}
+}
+
+// interestedRanks returns the peer ranks whose owned-or-ghost region
+// contains the wrapped cell w: the owners of all cells within the ghost
+// distance of w, found by probing the 27 cube corners (rank regions are
+// axis-aligned boxes at least one ghost width wide, so corners suffice).
+func (st *State) interestedRanks(w lattice.Coord) []int {
+	me := st.Comm.Rank()
+	g := int32(st.Box.Ghost)
+	var out []int
+	seen := map[int]bool{me: true}
+	for dz := int32(-1); dz <= 1; dz++ {
+		for dy := int32(-1); dy <= 1; dy++ {
+			for dx := int32(-1); dx <= 1; dx++ {
+				r := st.Grid.RankOfCell(w.X+dx*g, w.Y+dy*g, w.Z+dz*g)
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// dirtyRecord is one affected site on the wire: wrapped cell, basis,
+// occupancy.
+func packDirty(p *packer, w lattice.Coord, occ uint8) {
+	p.i32(w.X)
+	p.i32(w.Y)
+	p.i32(w.Z)
+	p.u8(uint8(w.B))
+	p.u8(occ)
+}
+
+// flushOnDemand implements the paper's on-demand communication strategy:
+// only the sites affected during the sector travel, to exactly the ranks
+// that can see them (Figure 8(d)).
+func (st *State) flushOnDemand() {
+	// Deterministic order over the dirty set.
+	dirtySorted := make([]int, 0, len(st.dirty))
+	for s := range st.dirty {
+		dirtySorted = append(dirtySorted, s)
+	}
+	sort.Ints(dirtySorted)
+	st.dirty = make(map[int]bool)
+
+	byPeer := make(map[int]*packer)
+	for _, local := range dirtySorted {
+		c := st.Box.GlobalCoord(local)
+		w := st.L.Wrap(c)
+		for _, r := range st.interestedRanks(w) {
+			p := byPeer[r]
+			if p == nil {
+				p = &packer{}
+				byPeer[r] = p
+			}
+			packDirty(p, w, st.Occ[local])
+		}
+	}
+
+	apply := func(data []byte, from int) {
+		u := unpacker{buf: data}
+		for !u.done() {
+			w := lattice.Coord{X: u.i32(), Y: u.i32(), Z: u.i32(), B: int8(u.u8())}
+			occ := u.u8()
+			key := st.cellKey(w.X, w.Y, w.Z)
+			base, ok := st.wrapped[key]
+			if !ok {
+				panic(fmt.Sprintf("kmc: rank %d sent update for invisible cell %+v", from, w))
+			}
+			st.setOcc(base+int(w.B), occ, false)
+		}
+	}
+
+	switch st.Cfg.Protocol {
+	case OnDemand:
+		// Two-sided: a (possibly zero-size) message to every peer, because
+		// the receiver cannot otherwise know nothing is coming — the
+		// drawback the paper calls out.
+		for _, peer := range st.peers {
+			var payload []byte
+			if p := byPeer[peer]; p != nil {
+				payload = p.buf
+			}
+			st.Comm.Send(peer, tagKDirty, payload)
+		}
+		for _, peer := range st.peers {
+			status := st.Comm.Probe(peer, tagKDirty)
+			data, _ := st.Comm.Recv(status.Source, status.Tag)
+			apply(data, peer)
+		}
+	case OnDemandOneSided:
+		// One-sided: only ranks with updates put; the fence synchronizes.
+		for _, peer := range st.peers {
+			if p := byPeer[peer]; p != nil && len(p.buf) > 0 {
+				st.win.Put(peer, p.buf)
+			}
+		}
+		for _, m := range st.win.Fence() {
+			apply(m.Data, m.Source)
+		}
+	default:
+		panic("kmc: flushOnDemand with traditional protocol")
+	}
+}
+
+// Stats returns the accumulated communication counters.
+func (st *State) Stats() mpi.Stats { return st.Comm.Stats }

@@ -1,0 +1,88 @@
+package kmc
+
+import (
+	"io"
+
+	"mdkmc/internal/cluster"
+	"mdkmc/internal/trace"
+)
+
+// EvolutionPoint is one sample of the defect-evolution time series — the
+// quantities behind the paper's Figure 17 narrative (vacancies aggregating
+// over KMC time).
+type EvolutionPoint struct {
+	Cycle     int
+	MCTime    float64
+	Events    int
+	Clusters  int
+	Largest   int
+	MeanSize  float64
+	Clustered float64 // fraction of vacancies in clusters of 2+
+	Energy    float64 // total EAM energy (eV)
+}
+
+// Recorder samples a State's defect statistics as cycles advance.
+type Recorder struct {
+	Shells int // adjacency shells for the cluster analysis (default 2)
+	Points []EvolutionPoint
+
+	events int
+}
+
+// Sample records the current state (collective: cluster analysis gathers
+// owned vacancies per rank; call on every rank, use rank 0's recorder).
+func (rec *Recorder) Sample(st *State) EvolutionPoint {
+	shells := rec.Shells
+	if shells == 0 {
+		shells = 2
+	}
+	a := cluster.Vacancies(st.L, st.VacancySites(), shells)
+	p := EvolutionPoint{
+		Cycle:     st.Cycles,
+		MCTime:    st.Time,
+		Events:    rec.events,
+		Clusters:  a.NumClusters,
+		Largest:   a.Largest,
+		MeanSize:  a.MeanSize,
+		Clustered: a.ClusteredFraction,
+		Energy:    st.TotalEnergy(),
+	}
+	rec.Points = append(rec.Points, p)
+	return p
+}
+
+// RunSampled advances the state by `cycles` cycles, sampling every `every`
+// cycles (and once at the start and end), and returns the total events.
+func (rec *Recorder) RunSampled(st *State, cycles, every int) int {
+	if every <= 0 {
+		every = 1
+	}
+	rec.Sample(st)
+	total := 0
+	for i := 0; i < cycles; i++ {
+		total += st.Cycle()
+		rec.events = total
+		if (i+1)%every == 0 || i == cycles-1 {
+			rec.Sample(st)
+		}
+	}
+	return total
+}
+
+// WriteCSV emits the series through the trace CSV writer.
+func (rec *Recorder) WriteCSV(w io.Writer) error {
+	c, err := trace.NewCSVWriter(w,
+		"cycle", "mc_time_s", "events", "clusters", "largest", "mean_size",
+		"clustered_fraction", "energy_ev")
+	if err != nil {
+		return err
+	}
+	for _, p := range rec.Points {
+		if err := c.Row(float64(p.Cycle), p.MCTime, float64(p.Events),
+			float64(p.Clusters), float64(p.Largest), p.MeanSize,
+			p.Clustered, p.Energy); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package kmc
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderSeries(t *testing.T) {
+	cfg := testConfig()
+	cfg.VacancyConcentration = 0.004
+	runWorld(t, cfg, func(st *State) {
+		var rec Recorder
+		events := rec.RunSampled(st, 20, 5)
+		if events == 0 {
+			t.Fatalf("no events recorded")
+		}
+		// Initial sample + one per 5 cycles.
+		if len(rec.Points) != 1+4 {
+			t.Fatalf("%d samples, want 5", len(rec.Points))
+		}
+		first, last := rec.Points[0], rec.Points[len(rec.Points)-1]
+		if first.Cycle != 0 || last.Cycle != 20 {
+			t.Errorf("cycle range %d..%d", first.Cycle, last.Cycle)
+		}
+		if last.MCTime <= first.MCTime {
+			t.Errorf("MC time not advancing in series")
+		}
+		if last.Events != events {
+			t.Errorf("final event count %d, want %d", last.Events, events)
+		}
+		for _, p := range rec.Points {
+			if p.Clusters <= 0 || p.Energy >= 0 {
+				t.Errorf("implausible sample %+v", p)
+			}
+		}
+	})
+}
+
+func TestRecorderCSV(t *testing.T) {
+	cfg := testConfig()
+	runWorld(t, cfg, func(st *State) {
+		var rec Recorder
+		rec.RunSampled(st, 4, 2)
+		var sb strings.Builder
+		if err := rec.WriteCSV(&sb); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+		if len(lines) != 1+len(rec.Points) {
+			t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(rec.Points))
+		}
+		if !strings.HasPrefix(lines[0], "cycle,mc_time_s") {
+			t.Errorf("header %q", lines[0])
+		}
+	})
+}

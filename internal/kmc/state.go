@@ -1,0 +1,579 @@
+package kmc
+
+import (
+	"fmt"
+	"sort"
+
+	"mdkmc/internal/eam"
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/rng"
+	"mdkmc/internal/units"
+)
+
+// State is one rank's share of the KMC simulation: site occupancies over the
+// subdomain plus halo, incrementally maintained electron densities, the
+// owned-vacancy index, and the ghost-communication plans.
+type State struct {
+	Cfg  Config
+	Comm *mpi.Comm
+	L    *lattice.Lattice
+	Grid *lattice.Grid
+	Box  *lattice.Box
+	Tab  *lattice.OffsetTable
+	Pot  *eam.Potential
+
+	Occ []uint8   // per local site
+	Rho []float64 // incrementally maintained; valid within reach of owned
+
+	Time   float64 // accumulated MC time (s)
+	Cycles int
+
+	en     energetics
+	kBT    float64
+	deltas [2][]int32
+	shell1 [2][]int32 // first-shell (hop target) deltas per basis
+	reach  int        // interaction reach in cells
+
+	ownedVac map[int]bool // owned local sites currently vacant
+
+	// Ghost plans. The traditional protocol uses per-sector plans: before a
+	// sector it refreshes the sector's read halo (getRecv/getSend), after it
+	// pushes back the sector's one-cell write band (putSend/putRecv). The
+	// on-demand protocol ignores them and routes dirty sites by interest.
+	peers   []int
+	getRecv [8]map[int][]int // owner -> my ghost cell bases to refresh
+	getSend [8]map[int][]int // requester -> my owned cell bases to serve
+	putSend [8]map[int][]int // owner -> my ghost cell bases I may have written
+	putRecv [8]map[int][]int // writer -> my owned cell bases it may write
+	groups  map[int][]int    // local base site -> all local images of the wrapped cell
+	wrapped map[int]int      // wrapped global cell key -> one local base index
+	dirty   map[int]bool     // canonical local site indices changed since last flush
+	win     *mpi.Win
+
+	rng *rng.Source
+}
+
+// NewState builds the rank-local state collectively.
+func NewState(cfg Config, comm *mpi.Comm) (*State, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks() != comm.Size() {
+		return nil, fmt.Errorf("kmc: grid %v needs %d ranks, world has %d",
+			cfg.Grid, cfg.Ranks(), comm.Size())
+	}
+	l := lattice.New(cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], cfg.A)
+	grid, err := lattice.NewGrid(l, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2])
+	if err != nil {
+		return nil, err
+	}
+	var pot *eam.Potential
+	if cfg.CuConcentration > 0 || len(cfg.CuSites) > 0 {
+		pot = eam.NewFeCu(eam.Compacted, eam.TablePoints)
+	} else {
+		pot = eam.NewFe(eam.Compacted, eam.TablePoints)
+	}
+	tab := l.NeighborOffsets(pot.Cutoff)
+	reach := tab.MaxCellReach()
+	// Ghost wide enough that ρ stays valid one cell beyond the owned
+	// region's reach (ΔE of a boundary hop inspects sites reach+1 out, and
+	// their ρ needs occupancy up to 2·reach+1 out).
+	ghost := 2*reach + 1
+	box := grid.Box(comm.Rank(), ghost)
+	for d := 0; d < 3; d++ {
+		if box.Hi[d]-box.Lo[d] < ghost {
+			return nil, fmt.Errorf("kmc: subdomain dim %d (%d cells) thinner than ghost %d",
+				d, box.Hi[d]-box.Lo[d], ghost)
+		}
+	}
+	st := &State{
+		Cfg:      cfg,
+		Comm:     comm,
+		L:        l,
+		Grid:     grid,
+		Box:      box,
+		Tab:      tab,
+		Pot:      pot,
+		kBT:      units.Boltzmann * cfg.Temperature,
+		reach:    reach,
+		ownedVac: make(map[int]bool),
+		dirty:    make(map[int]bool),
+		rng:      rng.New(cfg.Seed),
+	}
+	st.en = energetics{pot: pot, shells: newShellTables(pot, tab)}
+	st.buildDeltas()
+	st.buildPlans()
+	st.initOccupancy()
+	st.initRho()
+	if cfg.Protocol == OnDemandOneSided {
+		st.win = mpi.NewWin(comm)
+	} else {
+		// Window creation is collective; every rank must make the same
+		// choice, which Config guarantees.
+		comm.Barrier()
+	}
+	return st, nil
+}
+
+func (st *State) buildDeltas() {
+	ex, ey := st.Box.Ext(0), st.Box.Ext(1)
+	for b := int8(0); b <= 1; b++ {
+		offs := st.Tab.PerBase[b]
+		d := make([]int32, len(offs))
+		for i, o := range offs {
+			d[i] = int32(((int(o.DZ)*ey+int(o.DY))*ex+int(o.DX))*2 + int(o.DB) - int(b))
+		}
+		st.deltas[b] = d
+		n := len(st.Tab.FirstShell(b))
+		st.shell1[b] = d[:n]
+	}
+}
+
+// cellKey returns a map key for a wrapped global cell.
+func (st *State) cellKey(x, y, z int32) int {
+	return (int(z)*st.L.Ny+int(y))*st.L.Nx + int(x)
+}
+
+// sectorBounds returns the owned cell range [lo, hi) of sector sec (one of
+// the eight octants of the subdomain).
+func (st *State) sectorBounds(sec int) (lo, hi [3]int) {
+	for d := 0; d < 3; d++ {
+		mid := st.Box.Lo[d] + (st.Box.Hi[d]-st.Box.Lo[d])/2
+		if sec&(1<<d) == 0 {
+			lo[d], hi[d] = st.Box.Lo[d], mid
+		} else {
+			lo[d], hi[d] = mid, st.Box.Hi[d]
+		}
+	}
+	return
+}
+
+// distToBox returns the Chebyshev distance from cell c to the box [lo,hi).
+func distToBox(c lattice.Coord, lo, hi [3]int) int {
+	max := 0
+	for d, v := range [3]int{int(c.X), int(c.Y), int(c.Z)} {
+		dd := 0
+		if v < lo[d] {
+			dd = lo[d] - v
+		} else if v >= hi[d] {
+			dd = v - hi[d] + 1
+		}
+		if dd > max {
+			max = dd
+		}
+	}
+	return max
+}
+
+// buildPlans computes the image groups, the per-sector traditional-exchange
+// plans, and the peer set, via a collective handshake.
+func (st *State) buildPlans() {
+	l, box, comm := st.L, st.Box, st.Comm
+	me := comm.Rank()
+	st.groups = make(map[int][]int)
+	st.wrapped = make(map[int]int)
+	for sec := 0; sec < 8; sec++ {
+		st.getRecv[sec] = make(map[int][]int)
+		st.getSend[sec] = make(map[int][]int)
+		st.putSend[sec] = make(map[int][]int)
+		st.putRecv[sec] = make(map[int][]int)
+	}
+
+	// Image groups over all local cells, keyed by wrapped cell.
+	byWrapped := make(map[int][]int)
+	for z := box.Lo[2] - box.Ghost; z < box.Hi[2]+box.Ghost; z++ {
+		for y := box.Lo[1] - box.Ghost; y < box.Hi[1]+box.Ghost; y++ {
+			for x := box.Lo[0] - box.Ghost; x < box.Hi[0]+box.Ghost; x++ {
+				c := lattice.Coord{X: int32(x), Y: int32(y), Z: int32(z)}
+				w := l.Wrap(c)
+				key := st.cellKey(w.X, w.Y, w.Z)
+				byWrapped[key] = append(byWrapped[key], box.LocalIndex(c))
+			}
+		}
+	}
+	for key, members := range byWrapped {
+		sort.Ints(members)
+		st.wrapped[key] = members[0]
+		for _, m := range members {
+			if box.Owns(box.GlobalCoord(m)) {
+				st.wrapped[key] = m
+				break
+			}
+		}
+		if len(members) > 1 {
+			for _, m := range members {
+				st.groups[m] = members
+			}
+		}
+	}
+
+	// For every non-owned local cell, classify per sector: read halo
+	// (within Ghost of the octant) and write band (within 1 cell).
+	type need struct {
+		wrapped lattice.Coord
+		mine    int
+	}
+	getNeeds := [8]map[int][]need{}
+	putOffers := [8]map[int][]need{}
+	for sec := 0; sec < 8; sec++ {
+		getNeeds[sec] = make(map[int][]need)
+		putOffers[sec] = make(map[int][]need)
+	}
+	peerSet := map[int]bool{}
+	for z := box.Lo[2] - box.Ghost; z < box.Hi[2]+box.Ghost; z++ {
+		for y := box.Lo[1] - box.Ghost; y < box.Hi[1]+box.Ghost; y++ {
+			for x := box.Lo[0] - box.Ghost; x < box.Hi[0]+box.Ghost; x++ {
+				c := lattice.Coord{X: int32(x), Y: int32(y), Z: int32(z)}
+				if box.Owns(c) {
+					continue
+				}
+				w := l.Wrap(c)
+				owner := st.Grid.RankOfCell(w.X, w.Y, w.Z)
+				if owner == me {
+					continue // periodic self-image, consistent locally
+				}
+				peerSet[owner] = true
+				local := box.LocalIndex(c)
+				for sec := 0; sec < 8; sec++ {
+					lo, hi := st.sectorBounds(sec)
+					d := distToBox(c, lo, hi)
+					if d <= box.Ghost {
+						getNeeds[sec][owner] = append(getNeeds[sec][owner], need{w, local})
+					}
+					if d <= 1 {
+						putOffers[sec][owner] = append(putOffers[sec][owner], need{w, local})
+					}
+				}
+			}
+		}
+	}
+	for r := range peerSet {
+		st.peers = append(st.peers, r)
+	}
+	sort.Ints(st.peers)
+
+	// Handshake: one message per peer describing, per sector, the cells we
+	// will read from them (they must send) and write at them (they must
+	// receive).
+	packCells := func(p *packer, list []need) {
+		p.i32(int32(len(list)))
+		for _, n := range list {
+			p.i32(n.wrapped.X)
+			p.i32(n.wrapped.Y)
+			p.i32(n.wrapped.Z)
+		}
+	}
+	for _, r := range st.peers {
+		var p packer
+		for sec := 0; sec < 8; sec++ {
+			packCells(&p, getNeeds[sec][r])
+			packCells(&p, putOffers[sec][r])
+			mine := func(list []need) []int {
+				out := make([]int, len(list))
+				for i, n := range list {
+					out[i] = n.mine
+				}
+				return out
+			}
+			if len(getNeeds[sec][r]) > 0 {
+				st.getRecv[sec][r] = mine(getNeeds[sec][r])
+			}
+			if len(putOffers[sec][r]) > 0 {
+				st.putSend[sec][r] = mine(putOffers[sec][r])
+			}
+		}
+		comm.Send(r, tagKReq, p.buf)
+	}
+	for range st.peers {
+		data, s := comm.Recv(mpi.AnySource, tagKReq)
+		u := unpacker{buf: data}
+		readCells := func() []int {
+			n := int(u.i32())
+			out := make([]int, 0, n)
+			for i := 0; i < n; i++ {
+				c := lattice.Coord{X: u.i32(), Y: u.i32(), Z: u.i32()}
+				if !box.Owns(c) {
+					panic(fmt.Sprintf("kmc: rank %d referenced non-owned cell %+v at %d",
+						s.Source, c, me))
+				}
+				out = append(out, box.LocalIndex(c))
+			}
+			return out
+		}
+		for sec := 0; sec < 8; sec++ {
+			if cells := readCells(); len(cells) > 0 {
+				st.getSend[sec][s.Source] = cells
+			}
+			if cells := readCells(); len(cells) > 0 {
+				st.putRecv[sec][s.Source] = cells
+			}
+		}
+	}
+}
+
+// initOccupancy fills the box with atoms and seeds the vacancies: from the
+// explicit list (the MD coupling) or randomly at the configured
+// concentration. Vacancy placement is derived from the seed alone, so every
+// rank computes the same global set.
+func (st *State) initOccupancy() {
+	n := st.Box.NumLocalSites()
+	st.Occ = make([]uint8, n)
+	for i := range st.Occ {
+		st.Occ[i] = Atom
+	}
+	// Copper solutes first (alloy path); vacancies may overwrite.
+	cuSites := st.Cfg.CuSites
+	if cuSites == nil && st.Cfg.CuConcentration > 0 {
+		cuSites = st.randomSites(st.Cfg.CuConcentration, cuSeedSalt)
+	}
+	for _, g := range cuSites {
+		st.placeSite(g, CuAtom)
+	}
+	vacancies := st.Cfg.Vacancies
+	if vacancies == nil && st.Cfg.VacancyConcentration > 0 {
+		vacancies = st.randomSites(st.Cfg.VacancyConcentration, vacancySeedSalt)
+	}
+	for _, g := range vacancies {
+		st.placeSite(g, Vacant)
+	}
+}
+
+// randomSites draws a deterministic global site set of the given
+// concentration; every rank computes the same set from the seed alone.
+func (st *State) randomSites(concentration float64, salt uint64) []int {
+	total := st.L.NumSites()
+	want := int(float64(total) * concentration)
+	if want < 1 {
+		want = 1
+	}
+	src := rng.New(st.Cfg.Seed).Derive(salt)
+	picked := make(map[int]bool, want)
+	for len(picked) < want {
+		picked[src.Intn(total)] = true
+	}
+	out := make([]int, 0, want)
+	for g := range picked {
+		out = append(out, g)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// placeSite writes the occupancy of global site g into every local image
+// (no-op when g is outside the local region) and maintains the owned
+// vacancy index. Used only during initialization, before ρ is computed.
+func (st *State) placeSite(g int, occ uint8) {
+	c := st.L.Coord(g)
+	key := st.cellKey(c.X, c.Y, c.Z)
+	base, ok := st.wrapped[key]
+	if !ok {
+		return // not in my local region
+	}
+	for _, member := range st.imageBases(base) {
+		st.Occ[member+int(c.B)] = occ
+	}
+	if st.Box.Owns(st.Box.GlobalCoord(base)) {
+		if occ == Vacant {
+			st.ownedVac[base+int(c.B)] = true
+		} else {
+			delete(st.ownedVac, base+int(c.B))
+		}
+	}
+}
+
+// imageBases returns all local base indices of the cell containing base
+// (itself included).
+func (st *State) imageBases(base int) []int {
+	if g, ok := st.groups[base]; ok {
+		return g
+	}
+	return []int{base}
+}
+
+// initRho computes the electron density of every local site from scratch.
+// Values are exact wherever the full neighborhood is inside the local
+// region; the outermost halo shell is approximate and never consulted.
+func (st *State) initRho() {
+	st.Rho = make([]float64, len(st.Occ))
+	box := st.Box
+	ex, ey, ez := box.Ext(0), box.Ext(1), box.Ext(2)
+	for lz := 0; lz < ez; lz++ {
+		for ly := 0; ly < ey; ly++ {
+			for lx := 0; lx < ex; lx++ {
+				// Skip the outermost shell: its neighborhoods leave the
+				// local region.
+				interior := lx >= st.reach && lx < ex-st.reach &&
+					ly >= st.reach && ly < ey-st.reach &&
+					lz >= st.reach && lz < ez-st.reach
+				if !interior {
+					continue
+				}
+				base := ((lz*ey+ly)*ex + lx) * 2
+				for b := 0; b < 2; b++ {
+					local := base + b
+					var rho float64
+					for k, d := range st.deltas[b] {
+						j := local + int(d)
+						rho += st.en.shells.fval(st.Occ[j], b, k)
+					}
+					st.Rho[local] = rho
+				}
+			}
+		}
+	}
+}
+
+// cellBaseOf returns the base-0 site index of the cell containing local.
+func cellBaseOf(local int) int { return local &^ 1 }
+
+// interiorOf reports whether the site's cell is at least margin cells away
+// from every edge of the local storage region, i.e. whether flat index
+// deltas of that reach are guaranteed not to wrap across rows.
+func (st *State) interiorOf(local, margin int) bool {
+	ex, ey, ez := st.Box.Ext(0), st.Box.Ext(1), st.Box.Ext(2)
+	cell := local >> 1
+	lx := cell % ex
+	ly := (cell / ex) % ey
+	lz := cell / (ex * ey)
+	return lx >= margin && lx < ex-margin &&
+		ly >= margin && ly < ey-margin &&
+		lz >= margin && lz < ez-margin
+}
+
+// setOcc writes occupancy to every local image of the site and maintains ρ
+// incrementally. markDirty records the change for the on-demand flush.
+func (st *State) setOcc(local int, occ uint8, markDirty bool) {
+	if st.Occ[local] == occ {
+		return
+	}
+	basis := local & 1
+	sh := st.en.shells
+	for _, base := range st.imageBases(cellBaseOf(local)) {
+		img := base + basis
+		old := st.Occ[img]
+		if old == occ {
+			continue
+		}
+		st.Occ[img] = occ
+		if st.interiorOf(img, st.reach) {
+			// Fast path: flat deltas cannot wrap.
+			for k, d := range st.deltas[basis] {
+				st.Rho[img+int(d)] += sh.fval(occ, basis, k) - sh.fval(old, basis, k)
+			}
+		} else {
+			// Edge of the halo: walk by coordinates and bounds-check.
+			c := st.Box.GlobalCoord(img)
+			for k, o := range st.Tab.PerBase[basis] {
+				n := o.Apply(c)
+				if st.Box.InLocal(n) {
+					st.Rho[st.Box.LocalIndex(n)] += sh.fval(occ, basis, k) - sh.fval(old, basis, k)
+				}
+			}
+		}
+		if st.Box.Owns(st.Box.GlobalCoord(img)) {
+			if occ == Vacant {
+				st.ownedVac[img] = true
+			} else {
+				delete(st.ownedVac, img)
+			}
+		}
+	}
+	if markDirty {
+		st.dirty[st.canonical(local)] = true
+	}
+}
+
+// canonical returns the preferred local representative (owned if possible)
+// of the site's image group.
+func (st *State) canonical(local int) int {
+	basis := local & 1
+	for _, base := range st.imageBases(cellBaseOf(local)) {
+		if st.Box.Owns(st.Box.GlobalCoord(base)) {
+			return base + basis
+		}
+	}
+	return local
+}
+
+// OwnedVacancies returns the owned vacancy local indices in sorted order.
+func (st *State) OwnedVacancies() []int {
+	out := make([]int, 0, len(st.ownedVac))
+	for v := range st.ownedVac {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// GlobalVacancyCount returns the total vacancy count (collective).
+func (st *State) GlobalVacancyCount() int {
+	tot := st.Comm.Allreduce(mpi.Sum, float64(len(st.ownedVac)))
+	return int(tot[0] + 0.5)
+}
+
+// VacancySites returns the wrapped coordinates of owned vacancies.
+func (st *State) VacancySites() []lattice.Coord {
+	var out []lattice.Coord
+	for _, v := range st.OwnedVacancies() {
+		out = append(out, st.L.Wrap(st.Box.GlobalCoord(v)))
+	}
+	return out
+}
+
+// sectorOf returns the sector index (0..7) of an owned cell coordinate: the
+// octant of the subdomain it falls in.
+func (st *State) sectorOf(c lattice.Coord) int {
+	sec := 0
+	mid0 := st.Box.Lo[0] + (st.Box.Hi[0]-st.Box.Lo[0])/2
+	mid1 := st.Box.Lo[1] + (st.Box.Hi[1]-st.Box.Lo[1])/2
+	mid2 := st.Box.Lo[2] + (st.Box.Hi[2]-st.Box.Lo[2])/2
+	if int(c.X) >= mid0 {
+		sec |= 1
+	}
+	if int(c.Y) >= mid1 {
+		sec |= 2
+	}
+	if int(c.Z) >= mid2 {
+		sec |= 4
+	}
+	return sec
+}
+
+// emFor returns the migration barrier for exchanging the vacancy with an
+// atom of the given occupancy code.
+func (st *State) emFor(occ uint8) float64 {
+	if occ == CuAtom && st.Cfg.EmCu > 0 {
+		return st.Cfg.EmCu
+	}
+	return st.Cfg.Em
+}
+
+// cuSeedSalt derives the copper-placement RNG stream.
+const cuSeedSalt = 0xC0FFEE
+
+// CountSpecies returns this rank's owned (vacancies, Fe, Cu) counts.
+func (st *State) CountSpecies() (vac, fe, cu int) {
+	st.Box.EachOwned(func(_ lattice.Coord, local int) {
+		switch st.Occ[local] {
+		case Vacant:
+			vac++
+		case CuAtom:
+			cu++
+		default:
+			fe++
+		}
+	})
+	return
+}
+
+// CuSites returns the wrapped coordinates of owned copper atoms.
+func (st *State) CuSitesOwned() []lattice.Coord {
+	var out []lattice.Coord
+	st.Box.EachOwned(func(c lattice.Coord, local int) {
+		if st.Occ[local] == CuAtom {
+			out = append(out, st.L.Wrap(c))
+		}
+	})
+	return out
+}

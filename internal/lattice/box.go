@@ -1,0 +1,207 @@
+package lattice
+
+import "fmt"
+
+// Box is the rectangular subdomain of unit cells owned by one process in the
+// standard domain decomposition ("we use the standard domain decomposition
+// to equally partition the simulation box", paper §2), together with a ghost
+// halo wide enough to cover the interaction cutoff.
+//
+// Coordinates handled by a Box are *unwrapped* global cell coordinates: a
+// ghost cell on the low side of a box at the box edge keeps its negative
+// coordinate locally and is wrapped only when the owning rank is looked up.
+type Box struct {
+	L     *Lattice
+	Lo    [3]int // first owned cell per dimension (inclusive)
+	Hi    [3]int // one past the last owned cell (exclusive)
+	Ghost int    // halo width in cells
+}
+
+// Ext returns the local storage extent (owned + both halos) in dimension d.
+func (b *Box) Ext(d int) int { return b.Hi[d] - b.Lo[d] + 2*b.Ghost }
+
+// OwnedCells returns the number of owned cells.
+func (b *Box) OwnedCells() int {
+	return (b.Hi[0] - b.Lo[0]) * (b.Hi[1] - b.Lo[1]) * (b.Hi[2] - b.Lo[2])
+}
+
+// NumOwnedSites returns the number of owned lattice sites.
+func (b *Box) NumOwnedSites() int { return 2 * b.OwnedCells() }
+
+// NumLocalSites returns the number of sites in local storage, halo included.
+func (b *Box) NumLocalSites() int { return 2 * b.Ext(0) * b.Ext(1) * b.Ext(2) }
+
+// InLocal reports whether the unwrapped global coordinate c falls inside the
+// local storage region (owned or halo).
+func (b *Box) InLocal(c Coord) bool {
+	for d, v := range [3]int{int(c.X), int(c.Y), int(c.Z)} {
+		if v < b.Lo[d]-b.Ghost || v >= b.Hi[d]+b.Ghost {
+			return false
+		}
+	}
+	return true
+}
+
+// Owns reports whether c (unwrapped) is an owned cell of this box.
+func (b *Box) Owns(c Coord) bool {
+	for d, v := range [3]int{int(c.X), int(c.Y), int(c.Z)} {
+		if v < b.Lo[d] || v >= b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// LocalIndex maps an unwrapped global coordinate inside the local region to
+// its dense local array index. It panics when c is outside the region; ghost
+// exchange must have placed every referenced site beforehand.
+func (b *Box) LocalIndex(c Coord) int {
+	lx := int(c.X) - b.Lo[0] + b.Ghost
+	ly := int(c.Y) - b.Lo[1] + b.Ghost
+	lz := int(c.Z) - b.Lo[2] + b.Ghost
+	ex, ey := b.Ext(0), b.Ext(1)
+	if lx < 0 || lx >= ex || ly < 0 || ly >= ey || lz < 0 || lz >= b.Ext(2) {
+		panic(fmt.Sprintf("lattice: coord %+v outside box [%v,%v)+g%d", c, b.Lo, b.Hi, b.Ghost))
+	}
+	return ((lz*ey+ly)*ex+lx)*2 + int(c.B)
+}
+
+// GlobalCoord inverts LocalIndex, returning the unwrapped global coordinate.
+func (b *Box) GlobalCoord(local int) Coord {
+	bb := int8(local & 1)
+	cell := local >> 1
+	ex, ey := b.Ext(0), b.Ext(1)
+	lx := cell % ex
+	cell /= ex
+	ly := cell % ey
+	lz := cell / ey
+	return Coord{
+		X: int32(lx + b.Lo[0] - b.Ghost),
+		Y: int32(ly + b.Lo[1] - b.Ghost),
+		Z: int32(lz + b.Lo[2] - b.Ghost),
+		B: bb,
+	}
+}
+
+// EachOwned calls fn for every owned site, in canonical owned order
+// (x fastest, basis innermost).
+func (b *Box) EachOwned(fn func(c Coord, local int)) {
+	b.EachOwnedCellRange(0, b.OwnedCells(), fn)
+}
+
+// EachOwnedCellRange calls fn for the sites of owned cells [lo, hi) in the
+// canonical owned-cell order; the ranges of a partition of [0, OwnedCells())
+// tile EachOwned exactly. It is the work-splitting primitive of the CPE
+// slab decomposition.
+func (b *Box) EachOwnedCellRange(lo, hi int, fn func(c Coord, local int)) {
+	nx := b.Hi[0] - b.Lo[0]
+	ny := b.Hi[1] - b.Lo[1]
+	for cell := lo; cell < hi; cell++ {
+		x := cell % nx
+		y := (cell / nx) % ny
+		z := cell / (nx * ny)
+		for bb := int8(0); bb <= 1; bb++ {
+			c := Coord{
+				X: int32(x + b.Lo[0]),
+				Y: int32(y + b.Lo[1]),
+				Z: int32(z + b.Lo[2]),
+				B: bb,
+			}
+			fn(c, b.LocalIndex(c))
+		}
+	}
+}
+
+// SpanCells returns the cell range [lo,hi) of worker i among n workers over
+// the owned cells, remainder cells going to the lower workers.
+func (b *Box) SpanCells(n, i int) (lo, hi int) { return span(b.OwnedCells(), n, i) }
+
+// Grid is a Cartesian process grid over the lattice cells.
+type Grid struct {
+	L          *Lattice
+	Px, Py, Pz int
+}
+
+// NewGrid validates and builds a process grid. Each dimension of the process
+// grid must not exceed the cell count of that dimension.
+func NewGrid(l *Lattice, px, py, pz int) (*Grid, error) {
+	if px <= 0 || py <= 0 || pz <= 0 {
+		return nil, fmt.Errorf("lattice: non-positive process grid %dx%dx%d", px, py, pz)
+	}
+	if px > l.Nx || py > l.Ny || pz > l.Nz {
+		return nil, fmt.Errorf("lattice: process grid %dx%dx%d exceeds cells %dx%dx%d",
+			px, py, pz, l.Nx, l.Ny, l.Nz)
+	}
+	return &Grid{L: l, Px: px, Py: py, Pz: pz}, nil
+}
+
+// Ranks returns the total rank count Px*Py*Pz.
+func (g *Grid) Ranks() int { return g.Px * g.Py * g.Pz }
+
+// RankCoord returns the process-grid coordinates of rank r (x fastest).
+func (g *Grid) RankCoord(r int) (x, y, z int) {
+	x = r % g.Px
+	r /= g.Px
+	y = r % g.Py
+	z = r / g.Py
+	return
+}
+
+// Rank returns the rank at process-grid coordinates, wrapped periodically.
+func (g *Grid) Rank(x, y, z int) int {
+	x = int(wrapInt(int32(x), int32(g.Px)))
+	y = int(wrapInt(int32(y), int32(g.Py)))
+	z = int(wrapInt(int32(z), int32(g.Pz)))
+	return (z*g.Py+y)*g.Px + x
+}
+
+// span returns the cell range [lo,hi) of slot i among p slots over n cells,
+// distributing remainders to the lower slots.
+func span(n, p, i int) (lo, hi int) {
+	base, rem := n/p, n%p
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Box returns the subdomain owned by rank r with the given ghost width.
+func (g *Grid) Box(r, ghost int) *Box {
+	x, y, z := g.RankCoord(r)
+	b := &Box{L: g.L, Ghost: ghost}
+	b.Lo[0], b.Hi[0] = span(g.L.Nx, g.Px, x)
+	b.Lo[1], b.Hi[1] = span(g.L.Ny, g.Py, y)
+	b.Lo[2], b.Hi[2] = span(g.L.Nz, g.Pz, z)
+	return b
+}
+
+// RankOfCell returns the rank owning the wrapped global cell (x,y,z).
+func (g *Grid) RankOfCell(x, y, z int32) int {
+	x = wrapInt(x, int32(g.L.Nx))
+	y = wrapInt(y, int32(g.L.Ny))
+	z = wrapInt(z, int32(g.L.Nz))
+	return g.Rank(slotOf(int(x), g.L.Nx, g.Px), slotOf(int(y), g.L.Ny, g.Py), slotOf(int(z), g.L.Nz, g.Pz))
+}
+
+// slotOf inverts span: which of the p slots contains cell v of n.
+func slotOf(v, n, p int) int {
+	base, rem := n/p, n%p
+	// First rem slots have base+1 cells.
+	boundary := rem * (base + 1)
+	if v < boundary {
+		return v / (base + 1)
+	}
+	if base == 0 {
+		return rem - 1 // unreachable when grid validated: p <= n
+	}
+	return rem + (v-boundary)/base
+}

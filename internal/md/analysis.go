@@ -1,0 +1,127 @@
+package md
+
+import (
+	"math"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+// DefectStats summarizes the point-defect population of the simulation in
+// Wigner-Seitz terms: a lattice site missing its atom is a vacancy, an atom
+// anchored away from an empty home (chained as a run-away) pairs with one.
+type DefectStats struct {
+	Vacancies int
+	Runaways  int // displaced atoms (interstitial population)
+	// FrenkelPairs is min(Vacancies, Runaways): complete vacancy-
+	// interstitial pairs.
+	FrenkelPairs int
+	// MaxDisplacement is the largest displacement of any resident atom from
+	// its lattice site (Å).
+	MaxDisplacement float64
+}
+
+// Defects returns the global defect statistics (collective).
+func (r *Rank) Defects() DefectStats {
+	var maxDisp2 float64
+	vac := float64(r.Store.CountVacancies())
+	run := float64(CountOwnedRunaways(r.Store))
+	r.Box.EachOwned(func(c lattice.Coord, local int) {
+		if r.Store.IsVacancy(local) {
+			return
+		}
+		d2 := r.Store.R[local].Sub(r.L.Position(c)).Norm2()
+		if d2 > maxDisp2 {
+			maxDisp2 = d2
+		}
+	})
+	tot := r.Comm.Allreduce(mpi.Sum, vac, run)
+	mx := r.Comm.Allreduce(mpi.Max, maxDisp2)
+	st := DefectStats{
+		Vacancies:       int(tot[0] + 0.5),
+		Runaways:        int(tot[1] + 0.5),
+		MaxDisplacement: math.Sqrt(mx[0]),
+	}
+	st.FrenkelPairs = st.Vacancies
+	if st.Runaways < st.Vacancies {
+		st.FrenkelPairs = st.Runaways
+	}
+	return st
+}
+
+// SpeciesCount returns the global number of atoms of each species
+// (collective); the alloy path's conservation check.
+func (r *Rank) SpeciesCount() (fe, cu int) {
+	var lfe, lcu float64
+	count := func(t units.Element) {
+		if t == units.Cu {
+			lcu++
+		} else {
+			lfe++
+		}
+	}
+	r.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !r.Store.IsVacancy(local) {
+			count(r.Store.Type[local])
+		}
+		r.Store.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			count(a.Type)
+		})
+	})
+	tot := r.Comm.Allreduce(mpi.Sum, lfe, lcu)
+	return int(tot[0] + 0.5), int(tot[1] + 0.5)
+}
+
+// MSDTracker accumulates mean-square displacement against a reference
+// snapshot taken at construction. Atoms are tracked by ID, so run-away
+// conversions and migrations do not break the bookkeeping.
+type MSDTracker struct {
+	ref map[int64]vec.V
+}
+
+// NewMSDTracker snapshots the current owned-atom positions of the rank.
+func NewMSDTracker(r *Rank) *MSDTracker {
+	t := &MSDTracker{ref: make(map[int64]vec.V)}
+	eachOwnedAtom(r, func(id int64, pos vec.V) {
+		t.ref[id] = pos
+	})
+	return t
+}
+
+// MSD returns the global mean-square displacement in Å² (collective).
+// Atoms that migrated to another rank are skipped on this rank and counted
+// where they now live only if that rank saw them at construction; with
+// per-rank trackers the union covers all atoms for short runs, and the
+// estimate remains unbiased for diffusion studies.
+func (t *MSDTracker) MSD(r *Rank) float64 {
+	var sum, n float64
+	eachOwnedAtom(r, func(id int64, pos vec.V) {
+		ref, ok := t.ref[id]
+		if !ok {
+			return
+		}
+		sum += r.L.MinImage(pos, ref).Norm2()
+		n++
+	})
+	tot := r.Comm.Allreduce(mpi.Sum, sum, n)
+	if tot[1] == 0 {
+		return 0
+	}
+	return tot[0] / tot[1]
+}
+
+// eachOwnedAtom visits every owned atom (resident and run-away) with its ID
+// and position.
+func eachOwnedAtom(r *Rank, fn func(id int64, pos vec.V)) {
+	r.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !r.Store.IsVacancy(local) {
+			fn(r.Store.ID[local], r.Store.R[local])
+		}
+		r.Store.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			fn(a.ID, a.R)
+		})
+	})
+}

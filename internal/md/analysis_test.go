@@ -1,0 +1,203 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/rng"
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+func TestDefectsOnPerfectLattice(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 0
+	runWorld(t, cfg, func(r *Rank) {
+		st := r.Defects()
+		if st.Vacancies != 0 || st.Runaways != 0 || st.FrenkelPairs != 0 {
+			t.Errorf("defects on perfect lattice: %+v", st)
+		}
+		if st.MaxDisplacement != 0 {
+			t.Errorf("max displacement %v on perfect lattice", st.MaxDisplacement)
+		}
+	})
+}
+
+func TestDefectsAfterCascade(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cells = [3]int{8, 8, 8}
+	cfg.Temperature = 100
+	cfg.Dt = 2e-4
+	cfg.PKA = &PKA{Energy: 300}
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 250; i++ {
+			r.Step()
+		}
+		st := r.Defects()
+		if st.Vacancies == 0 {
+			t.Fatalf("cascade produced no vacancies: %+v", st)
+		}
+		if st.Vacancies != st.Runaways {
+			t.Errorf("vacancies %d != runaways %d", st.Vacancies, st.Runaways)
+		}
+		if st.FrenkelPairs != st.Vacancies {
+			t.Errorf("frenkel pairs %d", st.FrenkelPairs)
+		}
+		if st.MaxDisplacement <= 0 || st.MaxDisplacement > RunawayThreshold+1e-9 {
+			t.Errorf("resident max displacement %v outside (0, threshold]", st.MaxDisplacement)
+		}
+	})
+}
+
+func TestMSDGrowsWithTemperature(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 600
+	runWorld(t, cfg, func(r *Rank) {
+		tr := NewMSDTracker(r)
+		if msd := tr.MSD(r); msd != 0 {
+			t.Fatalf("initial MSD %v, want 0", msd)
+		}
+		for i := 0; i < 30; i++ {
+			r.Step()
+		}
+		msd := tr.MSD(r)
+		if msd <= 0 {
+			t.Fatalf("MSD %v after 30 hot steps", msd)
+		}
+		// Thermal vibration amplitude: well below the 1NN distance squared.
+		if msd > math.Pow(r.L.FirstNeighborDistance(), 2) {
+			t.Errorf("MSD %v unreasonably large", msd)
+		}
+	})
+}
+
+func TestAlloyMDConservesSpecies(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CuFraction = 0.1
+	cfg.Temperature = 600
+	runWorld(t, cfg, func(r *Rank) {
+		fe0, cu0 := r.SpeciesCount()
+		if cu0 == 0 {
+			t.Fatalf("no copper substituted at 10%%")
+		}
+		if fe0+cu0 != cfg.NumAtoms() {
+			t.Fatalf("species sum %d != atoms %d", fe0+cu0, cfg.NumAtoms())
+		}
+		for i := 0; i < 40; i++ {
+			r.Step()
+		}
+		fe1, cu1 := r.SpeciesCount()
+		if fe1 != fe0 || cu1 != cu0 {
+			t.Errorf("species drifted: Fe %d->%d, Cu %d->%d", fe0, fe1, cu0, cu1)
+		}
+	})
+}
+
+func TestAlloyMDEnergyConservation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.CuFraction = 0.15
+	cfg.Temperature = 300
+	cfg.Dt = 1e-3
+	runWorld(t, cfg, func(r *Rank) {
+		ke0, pe0 := r.TotalEnergy()
+		for i := 0; i < 120; i++ {
+			r.Step()
+		}
+		ke1, pe1 := r.TotalEnergy()
+		drift := math.Abs((ke1 + pe1) - (ke0 + pe0))
+		if perAtom := drift / float64(cfg.NumAtoms()); perAtom > 3e-5 {
+			t.Errorf("alloy energy drift %.3g eV/atom", perAtom)
+		}
+	})
+}
+
+func TestAlloyGhostTypesConsistent(t *testing.T) {
+	// Ghost copies must carry the same species as the owner's copy.
+	cfg := smallConfig()
+	cfg.Cells = [3]int{8, 6, 6}
+	cfg.Grid = [3]int{2, 1, 1}
+	cfg.CuFraction = 0.2
+	runWorld(t, cfg, func(r *Rank) {
+		r.Step()
+		// Every local lattice site — ghost or owned — must match the pure
+		// placement rule substituteCopper used.
+		base := rng.New(cfg.Seed).Derive(0xC0)
+		threshold := uint64(cfg.CuFraction * float64(^uint64(0)))
+		for local := 0; local < r.Box.NumLocalSites(); local++ {
+			if r.Store.IsVacancy(local) {
+				continue
+			}
+			c := r.Box.GlobalCoord(local)
+			gi := uint64(r.L.Index(r.L.Wrap(c)))
+			want := units.Fe
+			if base.Derive(gi).Uint64() <= threshold {
+				want = units.Cu
+			}
+			if got := r.Store.Type[local]; got != want {
+				t.Fatalf("site %+v type %v, placement rule says %v", c, got, want)
+			}
+		}
+		fe, cu := r.SpeciesCount()
+		if fe+cu != cfg.NumAtoms() {
+			t.Errorf("species sum %d != %d", fe+cu, cfg.NumAtoms())
+		}
+	})
+}
+
+func TestApplyRecoil(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 0
+	runWorld(t, cfg, func(r *Rank) {
+		site := lattice.Coord{X: 2, Y: 2, Z: 2, B: 0}
+		if !r.ApplyRecoil(site, 100, vec.V{X: 1}) {
+			t.Fatalf("recoil not applied to owned site")
+		}
+		local := r.Box.LocalIndex(site)
+		ke := 0.5 * r.Store.Type[local].Mass() * r.Store.Vel[local].Norm2()
+		if math.Abs(ke-100) > 1e-9 {
+			t.Errorf("recoil kinetic energy %v, want 100 eV", ke)
+		}
+		// Wrapped out-of-box coordinates are accepted.
+		if !r.ApplyRecoil(lattice.Coord{X: int32(cfg.Cells[0] + 2), Y: 2, Z: 2}, 10, vec.V{X: 1}) {
+			t.Errorf("wrapped recoil rejected")
+		}
+	})
+}
+
+func TestSubstitutionDeterministicAcrossGrids(t *testing.T) {
+	// Copper placement must be identical for 1-rank and 2-rank runs.
+	count := func(grid [3]int) map[int64]units.Element {
+		cfg := smallConfig()
+		cfg.Cells = [3]int{8, 6, 6}
+		cfg.Grid = grid
+		cfg.CuFraction = 0.2
+		types := make(map[int64]units.Element)
+		mu := make(chan struct{}, 1)
+		mu <- struct{}{}
+		runWorld(t, cfg, func(r *Rank) {
+			local := make(map[int64]units.Element)
+			r.Box.EachOwned(func(_ lattice.Coord, l int) {
+				if !r.Store.IsVacancy(l) {
+					local[r.Store.ID[l]] = r.Store.Type[l]
+				}
+			})
+			<-mu
+			for k, v := range local {
+				types[k] = v
+			}
+			mu <- struct{}{}
+		})
+		return types
+	}
+	a := count([3]int{1, 1, 1})
+	b := count([3]int{2, 1, 1})
+	if len(a) != len(b) {
+		t.Fatalf("atom counts differ: %d vs %d", len(a), len(b))
+	}
+	for id, ta := range a {
+		if b[id] != ta {
+			t.Fatalf("atom %d species differs across grids", id)
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package md
+
+import (
+	"bytes"
+	"testing"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/vec"
+)
+
+// TestCheckpointResumeIdentical: run A for 40 steps; run B for 20, save,
+// restore into a fresh rank, run 20 more; positions must match bitwise.
+func TestCheckpointResumeIdentical(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 600
+
+	positions := func(r *Rank) map[int64]vec.V {
+		out := make(map[int64]vec.V)
+		r.Box.EachOwned(func(_ lattice.Coord, local int) {
+			if !r.Store.IsVacancy(local) {
+				out[r.Store.ID[local]] = r.Store.R[local]
+			}
+			r.Store.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+				out[a.ID] = a.R
+			})
+		})
+		return out
+	}
+
+	var straight map[int64]vec.V
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 40; i++ {
+			r.Step()
+		}
+		straight = positions(r)
+	})
+
+	var blob bytes.Buffer
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			r.Step()
+		}
+		if err := r.Save(&blob); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+
+	var resumed map[int64]vec.V
+	runWorld(t, cfg, func(r *Rank) {
+		if err := r.Restore(bytes.NewReader(blob.Bytes())); err != nil {
+			t.Errorf("restore: %v", err)
+			return
+		}
+		if r.StepCount != 20 {
+			t.Errorf("restored step count %d", r.StepCount)
+		}
+		for i := 0; i < 20; i++ {
+			r.Step()
+		}
+		resumed = positions(r)
+	})
+
+	if len(resumed) != len(straight) {
+		t.Fatalf("atom counts differ: %d vs %d", len(resumed), len(straight))
+	}
+	for id, p := range straight {
+		if resumed[id] != p {
+			t.Fatalf("atom %d diverged after resume: %v vs %v", id, resumed[id], p)
+		}
+	}
+}
+
+func TestCheckpointRejectsWrongRank(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cells = [3]int{8, 6, 6}
+	cfg.Grid = [3]int{2, 1, 1}
+	blobs := make([]bytes.Buffer, 2)
+	w := mpi.NewWorld(2)
+	w.Run(func(c *mpi.Comm) {
+		r, err := NewRank(cfg, c)
+		if err != nil {
+			panic(err)
+		}
+		if err := r.Save(&blobs[c.Rank()]); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+	w2 := mpi.NewWorld(2)
+	w2.Run(func(c *mpi.Comm) {
+		r, err := NewRank(cfg, c)
+		if err != nil {
+			panic(err)
+		}
+		// Deliberately cross the streams.
+		other := (c.Rank() + 1) % 2
+		if err := r.Restore(bytes.NewReader(blobs[other].Bytes())); err == nil {
+			t.Errorf("rank %d accepted rank %d's checkpoint", c.Rank(), other)
+		}
+	})
+}
+
+func TestCheckpointRejectsWrongGeometry(t *testing.T) {
+	small := smallConfig()
+	var blob bytes.Buffer
+	runWorld(t, small, func(r *Rank) {
+		if err := r.Save(&blob); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+	big := smallConfig()
+	big.Cells = [3]int{8, 8, 8}
+	runWorld(t, big, func(r *Rank) {
+		if err := r.Restore(bytes.NewReader(blob.Bytes())); err == nil {
+			t.Errorf("mismatched geometry accepted")
+		}
+	})
+}

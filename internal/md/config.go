@@ -1,0 +1,133 @@
+// Package md implements the Molecular Dynamics engine that simulates defect
+// generation by cascade collision (paper §2.1): EAM forces over the lattice
+// neighbor list, velocity-Verlet integration, run-away atom and vacancy
+// bookkeeping, spatial domain decomposition with ghost exchange, the
+// Sunway CPE-offloaded force kernel with the paper's data-movement
+// optimizations, and Wigner-Seitz defect analysis feeding the KMC stage.
+package md
+
+import (
+	"fmt"
+
+	"mdkmc/internal/eam"
+	"mdkmc/internal/units"
+)
+
+// Default numerical parameters; see Config.
+const (
+	// DefaultDt is the MD time step in ps ("time step is set to 1
+	// femtosecond").
+	DefaultDt = 1e-3
+	// DefaultSkin is the extra margin (Å) added to the interaction cutoff
+	// when selecting the static lattice-neighbor offsets used for
+	// lattice-resident pairs; it must cover twice the run-away conversion
+	// threshold.
+	DefaultSkin = 0.9
+	// RunawayThreshold is the displacement (Å) from the home lattice site
+	// beyond which an atom is converted to a run-away atom and its site to
+	// a vacancy.
+	RunawayThreshold = 0.45
+	// WideMargin is the extra margin (Å) added to the cutoff for the wide
+	// offset table used to locate run-away atoms: twice the largest
+	// possible distance between a run-away atom and its anchor site (the
+	// circumradius of the BCC Wigner-Seitz cell, ~0.56a).
+	WideMargin = 3.2
+)
+
+// PKA configures the primary knock-on atom that starts a cascade: the
+// simulated equivalent of the irradiation event (DESIGN.md §2).
+type PKA struct {
+	Energy    float64    // recoil energy in eV
+	Direction [3]float64 // initial direction (normalized internally)
+}
+
+// Berendsen configures the optional velocity-rescaling thermostat used
+// during equilibration.
+type Berendsen struct {
+	Target float64 // temperature in K
+	Tau    float64 // coupling time in ps
+}
+
+// Config fully describes an MD run. The zero value is not runnable; use
+// DefaultConfig as a starting point.
+type Config struct {
+	Cells   [3]int // unit cells per dimension of the global box
+	Grid    [3]int // process grid (ranks = product)
+	A       float64
+	Species units.Element
+	// CuFraction substitutes the given fraction of lattice atoms with
+	// copper (the alloy path of §2.1.2; requires Species == Fe). Placement
+	// is derived from the seed, so it is identical across process grids.
+	CuFraction float64
+
+	Temperature float64 // initial temperature (K)
+	Dt          float64 // time step (ps)
+	Steps       int
+
+	Seed uint64
+
+	Mode        eam.Mode
+	TablePoints int
+	Skin        float64
+
+	PKA        *PKA       // optional cascade initialization
+	Thermostat *Berendsen // optional thermostat
+}
+
+// DefaultConfig returns the paper's iron setup at a laptop-scale box size:
+// Fe at 600 K, lattice constant 2.855 Å, 1 fs steps, compacted tables.
+func DefaultConfig() Config {
+	return Config{
+		Cells:       [3]int{8, 8, 8},
+		Grid:        [3]int{1, 1, 1},
+		A:           units.LatticeConstantFe,
+		Species:     units.Fe,
+		Temperature: 600,
+		Dt:          DefaultDt,
+		Steps:       100,
+		Seed:        1,
+		Mode:        eam.Compacted,
+		TablePoints: eam.TablePoints,
+		Skin:        DefaultSkin,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	for d := 0; d < 3; d++ {
+		if c.Cells[d] <= 0 {
+			return fmt.Errorf("md: non-positive cell count %v", c.Cells)
+		}
+		if c.Grid[d] <= 0 {
+			return fmt.Errorf("md: non-positive grid %v", c.Grid)
+		}
+	}
+	if c.A <= 0 {
+		return fmt.Errorf("md: non-positive lattice constant %v", c.A)
+	}
+	if c.Dt <= 0 {
+		return fmt.Errorf("md: non-positive time step %v", c.Dt)
+	}
+	if c.Steps < 0 {
+		return fmt.Errorf("md: negative step count %d", c.Steps)
+	}
+	if c.Skin <= 0 {
+		return fmt.Errorf("md: non-positive skin %v", c.Skin)
+	}
+	if c.TablePoints < 8 {
+		return fmt.Errorf("md: table resolution %d too small", c.TablePoints)
+	}
+	if c.CuFraction < 0 || c.CuFraction > 1 {
+		return fmt.Errorf("md: copper fraction %v out of range", c.CuFraction)
+	}
+	if c.CuFraction > 0 && c.Species != units.Fe {
+		return fmt.Errorf("md: copper substitution requires an iron host")
+	}
+	return nil
+}
+
+// Ranks returns the number of processes the configuration requires.
+func (c *Config) Ranks() int { return c.Grid[0] * c.Grid[1] * c.Grid[2] }
+
+// NumAtoms returns the initial atom count (2 per BCC cell).
+func (c *Config) NumAtoms() int { return 2 * c.Cells[0] * c.Cells[1] * c.Cells[2] }

@@ -1,0 +1,153 @@
+package md
+
+import (
+	"math"
+	"testing"
+
+	"mdkmc/internal/eam"
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+// bruteForceEAM computes EAM forces and total potential energy with a
+// completely independent O(N²) minimum-image double loop — no neighbor
+// structure, no lattice bookkeeping. It is the ground truth the lattice
+// neighbor list engine is validated against.
+func bruteForceEAM(l *lattice.Lattice, pot *eam.Potential,
+	pos []vec.V, typ []units.Element) ([]vec.V, float64) {
+
+	n := len(pos)
+	rho := make([]float64, n)
+	cut2 := pot.Cutoff * pot.Cutoff
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := l.MinImage(pos[i], pos[j])
+			if r2 := d.Norm2(); r2 < cut2 {
+				f, _ := pot.Density(typ[i], typ[j], math.Sqrt(r2))
+				rho[i] += f
+			}
+		}
+	}
+	forces := make([]vec.V, n)
+	var energy float64
+	for i := 0; i < n; i++ {
+		fE, dFi := pot.Embed(typ[i], rho[i])
+		energy += fE
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			d := l.MinImage(pos[i], pos[j])
+			r2 := d.Norm2()
+			if r2 >= cut2 {
+				continue
+			}
+			r := math.Sqrt(r2)
+			phi, dphi := pot.Pair(typ[i], typ[j], r)
+			_, dfij := pot.Density(typ[i], typ[j], r)
+			_, dfji := pot.Density(typ[j], typ[i], r)
+			_, dFj := pot.Embed(typ[j], rho[j])
+			scalar := dphi + dFi*dfij + dFj*dfji
+			forces[i] = forces[i].MulAdd(-scalar/r, d)
+			energy += 0.5 * phi
+		}
+	}
+	return forces, energy
+}
+
+// gatherAtoms extracts (id -> position/type/force) from a serial rank.
+func gatherAtoms(r *Rank) (ids []int64, pos []vec.V, typ []units.Element, force []vec.V) {
+	r.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !r.Store.IsVacancy(local) {
+			ids = append(ids, r.Store.ID[local])
+			pos = append(pos, r.Store.R[local])
+			typ = append(typ, r.Store.Type[local])
+			force = append(force, r.Store.F[local])
+		}
+		r.Store.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			ids = append(ids, a.ID)
+			pos = append(pos, a.R)
+			typ = append(typ, a.Type)
+			force = append(force, a.F)
+		})
+	})
+	return
+}
+
+func crossCheck(t *testing.T, r *Rank, tag string) {
+	t.Helper()
+	_, pos, typ, got := gatherAtoms(r)
+	// Wrap positions into the box for the min-image reference.
+	for i := range pos {
+		side := r.L.Side()
+		pos[i].X -= side.X * math.Floor(pos[i].X/side.X)
+		pos[i].Y -= side.Y * math.Floor(pos[i].Y/side.Y)
+		pos[i].Z -= side.Z * math.Floor(pos[i].Z/side.Z)
+	}
+	want, wantE := bruteForceEAM(r.L, r.Pot, pos, typ)
+	worst := 0.0
+	for i := range got {
+		if d := got[i].Sub(want[i]).Norm(); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-8 {
+		t.Errorf("%s: max force deviation from brute force: %.3g eV/Å", tag, worst)
+	}
+	_, pe := r.TotalEnergy()
+	if math.Abs(pe-wantE) > 1e-7*math.Max(1, math.Abs(wantE)) {
+		t.Errorf("%s: potential energy %v vs brute force %v", tag, pe, wantE)
+	}
+}
+
+// TestForcesMatchBruteForceThermal validates the full lattice-neighbor-list
+// force engine against the independent O(N²) reference on a hot lattice.
+func TestForcesMatchBruteForceThermal(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cells = [3]int{5, 5, 5}
+	cfg.Temperature = 900
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 15; i++ {
+			r.Step()
+		}
+		crossCheck(t, r, "thermal")
+	})
+}
+
+// TestForcesMatchBruteForceCascade is the hard case: run-away atoms,
+// vacancies, chains across periodic boundaries.
+func TestForcesMatchBruteForceCascade(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cells = [3]int{6, 6, 6}
+	cfg.Temperature = 100
+	cfg.Dt = 2e-4
+	cfg.PKA = &PKA{Energy: 250}
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 120; i++ {
+			r.Step()
+		}
+		if r.GlobalVacancyCount() == 0 {
+			t.Fatalf("cascade produced no defects; cross-check would be trivial")
+		}
+		crossCheck(t, r, "cascade")
+	})
+}
+
+// TestForcesMatchBruteForceAlloy adds mixed species to the cross-check.
+func TestForcesMatchBruteForceAlloy(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cells = [3]int{5, 5, 5}
+	cfg.CuFraction = 0.2
+	cfg.Temperature = 600
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 10; i++ {
+			r.Step()
+		}
+		crossCheck(t, r, "alloy")
+	})
+}

@@ -1,0 +1,281 @@
+package md
+
+import (
+	"math"
+
+	"mdkmc/internal/eam"
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+// OpStats counts the work performed by a force-kernel pass; the Sunway CPE
+// kernel translates these counts into DMA and compute charges.
+type OpStats struct {
+	Atoms   int64 // central atoms processed
+	Pairs   int64 // interacting pairs accepted (within the true cutoff)
+	Visits  int64 // candidate sites visited (static-offset walks)
+	Lookups int64 // interpolation-table queries issued
+	// MinorityLookups counts the lookups that involve a non-dominant
+	// species and therefore hit a table that is not LDM-resident under the
+	// paper's alloy strategy (§2.1.2).
+	MinorityLookups int64
+}
+
+// Add accumulates other into s.
+func (s *OpStats) Add(other OpStats) {
+	s.Atoms += other.Atoms
+	s.Pairs += other.Pairs
+	s.Visits += other.Visits
+	s.Lookups += other.Lookups
+	s.MinorityLookups += other.MinorityLookups
+}
+
+// ForceField evaluates EAM densities and forces over a lattice neighbor
+// list. The "tight" prefix of the (distance-sorted) offset table covers all
+// possible lattice-resident pairs (cutoff + skin); the full "wide" table is
+// walked only for run-away chains, which is the paper's "extra overhead can
+// be ignored" property.
+type ForceField struct {
+	Pot    *eam.Potential
+	Cutoff float64 // true interaction cutoff (Å)
+	Tight  [2]int  // per-basis prefix length for lattice-resident pairs
+}
+
+// NewForceField computes the tight prefixes for the store's offset table.
+func NewForceField(s *neighbor.Store, pot *eam.Potential, skin float64) *ForceField {
+	ff := &ForceField{Pot: pot, Cutoff: pot.Cutoff}
+	tightR := pot.Cutoff + skin
+	for b := 0; b <= 1; b++ {
+		n := 0
+		for _, o := range s.Tab.PerBase[b] {
+			if o.R <= tightR {
+				n++
+			} else {
+				break // offsets are distance-sorted
+			}
+		}
+		ff.Tight[b] = n
+	}
+	return ff
+}
+
+// centralKind distinguishes the two kinds of central atom.
+type centralKind int
+
+const (
+	residentCentral centralKind = iota
+	runawayCentral
+)
+
+// candidate is one potential interaction partner.
+type candidate struct {
+	pos vec.V
+	typ units.Element
+	rho float64
+}
+
+// eachCandidate enumerates every atom that can possibly be within the cutoff
+// of a central atom whose home (lattice site for residents, anchor for
+// run-aways) is the local site `home` with the given basis. Enumeration
+// order is deterministic. Returns the number of sites visited.
+//
+// withRho controls whether neighbor densities are copied into the
+// candidates: the density pass must pass false, both because it does not
+// need them and because neighbor ρ values are concurrently being written by
+// other CPE workers during that pass.
+func (ff *ForceField) eachCandidate(s *neighbor.Store, home int, basis int8,
+	kind centralKind, selfRef int32, withRho bool, fn func(c candidate)) int64 {
+
+	rhoOf := func(rho *float64) float64 {
+		if withRho {
+			return *rho
+		}
+		return 0
+	}
+	visits := int64(1)
+	// Atoms chained at the home site (excluding the central itself).
+	s.EachRunaway(home, func(ref int32, a *neighbor.Runaway) {
+		if kind == runawayCentral && ref == selfRef {
+			return
+		}
+		fn(candidate{pos: a.R, typ: a.Type, rho: rhoOf(&a.Rho)})
+	})
+	// The resident atom at the anchor site is a partner of a run-away
+	// central (a resident central *is* that atom).
+	if kind == runawayCentral && !s.IsVacancy(home) {
+		fn(candidate{pos: s.R[home], typ: s.Type[home], rho: rhoOf(&s.Rho[home])})
+	}
+
+	deltas := s.Deltas(basis)
+	tight := ff.Tight[basis]
+	for k, d := range deltas {
+		j := home + int(d)
+		visits++
+		// Lattice-resident partner: residents only need the tight prefix;
+		// run-away centrals can reach further.
+		if (k < tight || kind == runawayCentral) && !s.IsVacancy(j) {
+			fn(candidate{pos: s.R[j], typ: s.Type[j], rho: rhoOf(&s.Rho[j])})
+		}
+		// Run-away partners chained anywhere within the wide table.
+		if s.Head[j] != neighbor.NoRunaway {
+			s.EachRunaway(j, func(_ int32, a *neighbor.Runaway) {
+				fn(candidate{pos: a.R, typ: a.Type, rho: rhoOf(&a.Rho)})
+			})
+		}
+	}
+	return visits
+}
+
+// Densities computes the electron density ρ for every owned atom (resident
+// and run-away). Ghost densities must afterwards be filled by exchange.
+func (ff *ForceField) Densities(s *neighbor.Store) OpStats {
+	return ff.DensitiesRange(s, 0, s.Box.OwnedCells())
+}
+
+// DensitiesRange is Densities restricted to owned cells [lo, hi); disjoint
+// ranges write disjoint state, so the CPE kernel runs them concurrently.
+func (ff *ForceField) DensitiesRange(s *neighbor.Store, lo, hi int) OpStats {
+	var st OpStats
+	cut2 := ff.Cutoff * ff.Cutoff
+	s.Box.EachOwnedCellRange(lo, hi, func(c lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			st.Atoms++
+			pos := s.R[local]
+			typ := s.Type[local]
+			var rho float64
+			st.Visits += ff.eachCandidate(s, local, c.B, residentCentral, 0, false, func(cd candidate) {
+				r2 := pos.Sub(cd.pos).Norm2()
+				if r2 >= cut2 || r2 == 0 {
+					return
+				}
+				f, _ := ff.Pot.Density(typ, cd.typ, math.Sqrt(r2))
+				rho += f
+				st.Pairs++
+				st.Lookups++
+				if typ != units.Fe || cd.typ != units.Fe {
+					st.MinorityLookups++
+				}
+			})
+			s.Rho[local] = rho
+		}
+		s.EachRunaway(local, func(ref int32, a *neighbor.Runaway) {
+			st.Atoms++
+			pos, typ := a.R, a.Type
+			var rho float64
+			st.Visits += ff.eachCandidate(s, local, c.B, runawayCentral, ref, false, func(cd candidate) {
+				r2 := pos.Sub(cd.pos).Norm2()
+				if r2 >= cut2 || r2 == 0 {
+					return
+				}
+				f, _ := ff.Pot.Density(typ, cd.typ, math.Sqrt(r2))
+				rho += f
+				st.Pairs++
+				st.Lookups++
+				if typ != units.Fe || cd.typ != units.Fe {
+					st.MinorityLookups++
+				}
+			})
+			a.Rho = rho
+		})
+	})
+	return st
+}
+
+// Forces computes the force on every owned atom and returns the owned share
+// of the potential energy, Σᵢ (½ Σⱼ φ(rᵢⱼ) + F(ρᵢ)). Densities of all local
+// atoms (owned and ghost) must be up to date.
+func (ff *ForceField) Forces(s *neighbor.Store) (OpStats, float64) {
+	return ff.ForcesRange(s, 0, s.Box.OwnedCells())
+}
+
+// ForcesRange is Forces restricted to owned cells [lo, hi).
+func (ff *ForceField) ForcesRange(s *neighbor.Store, lo, hi int) (OpStats, float64) {
+	var st OpStats
+	var energy float64
+	cut2 := ff.Cutoff * ff.Cutoff
+
+	// force of one central atom given its state.
+	one := func(home int, basis int8, kind centralKind, ref int32,
+		pos vec.V, typ units.Element, rho float64) (vec.V, float64) {
+
+		embedE, dFc := ff.Pot.Embed(typ, rho)
+		e := embedE
+		f := vec.Zero
+		st.Visits += ff.eachCandidate(s, home, basis, kind, ref, true, func(cd candidate) {
+			d := pos.Sub(cd.pos)
+			r2 := d.Norm2()
+			if r2 >= cut2 || r2 == 0 {
+				return
+			}
+			r := math.Sqrt(r2)
+			phi, dphi := ff.Pot.Pair(typ, cd.typ, r)
+			_, dfij := ff.Pot.Density(typ, cd.typ, r)
+			_, dfji := ff.Pot.Density(cd.typ, typ, r)
+			_, dFj := ff.Pot.Embed(cd.typ, cd.rho)
+			scalar := dphi + dFc*dfij + dFj*dfji
+			f = f.MulAdd(-scalar/r, d)
+			e += 0.5 * phi
+			st.Pairs++
+			st.Lookups += 3
+			if typ != units.Fe || cd.typ != units.Fe {
+				st.MinorityLookups += 3
+			}
+		})
+		return f, e
+	}
+
+	s.Box.EachOwnedCellRange(lo, hi, func(c lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			st.Atoms++
+			f, e := one(local, c.B, residentCentral, 0,
+				s.R[local], s.Type[local], s.Rho[local])
+			s.F[local] = f
+			energy += e
+		}
+		s.EachRunaway(local, func(ref int32, a *neighbor.Runaway) {
+			st.Atoms++
+			f, e := one(local, c.B, runawayCentral, ref, a.R, a.Type, a.Rho)
+			a.F = f
+			energy += e
+		})
+	})
+	return st, energy
+}
+
+// KineticEnergy returns the owned atoms' kinetic energy in eV.
+func KineticEnergy(s *neighbor.Store) float64 {
+	var ke float64
+	s.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			ke += 0.5 * s.Type[local].Mass() * s.Vel[local].Norm2()
+		}
+		s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			ke += 0.5 * a.Type.Mass() * a.Vel.Norm2()
+		})
+	})
+	return ke
+}
+
+// CountOwnedRunaways returns the number of run-away atoms anchored at owned
+// sites (the pool also holds ghost copies, which do not count).
+func CountOwnedRunaways(s *neighbor.Store) int {
+	n := 0
+	s.Box.EachOwned(func(_ lattice.Coord, local int) {
+		s.EachRunaway(local, func(_ int32, _ *neighbor.Runaway) { n++ })
+	})
+	return n
+}
+
+// CountOwnedAtoms returns the number of owned atoms (resident + run-away).
+func CountOwnedAtoms(s *neighbor.Store) int {
+	n := 0
+	s.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			n++
+		}
+		s.EachRunaway(local, func(_ int32, _ *neighbor.Runaway) { n++ })
+	})
+	return n
+}

@@ -1,0 +1,341 @@
+package md
+
+import (
+	"fmt"
+	"sort"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+// Message tags of the MD exchange protocol.
+const (
+	tagReq = iota + 100
+	tagPos
+	tagRho
+	tagMig
+)
+
+// cellPair maps one ghost cell between the two sides of an exchange.
+type cellPair struct {
+	src   int   // sender's local index of the cell's basis-0 site
+	dst   int   // receiver's local index of the cell's basis-0 site
+	shift vec.V // position shift receiver applies (periodic image offset)
+}
+
+// exchange owns the static ghost-communication plan of one rank: which
+// cells it receives from each neighbor process, which of its owned cells it
+// sends, and the purely local periodic self-copies. The plan is computed
+// once ("the communication pattern is static, which can be reused at each
+// time step").
+type exchange struct {
+	comm  *mpi.Comm
+	grid  *lattice.Grid
+	box   *lattice.Box
+	peers []int // sorted ranks exchanged with (excluding self)
+
+	recvPlans map[int][]cellPair // owner rank -> cells I receive (dst = mine)
+	sendPlans map[int][]int      // requester rank -> my basis-0 local indices
+	selfCopy  []cellPair         // periodic images inside my own subdomain
+}
+
+// newExchange builds the plan collectively; every rank must call it.
+func newExchange(comm *mpi.Comm, grid *lattice.Grid, box *lattice.Box) *exchange {
+	e := &exchange{
+		comm:      comm,
+		grid:      grid,
+		box:       box,
+		recvPlans: make(map[int][]cellPair),
+		sendPlans: make(map[int][]int),
+	}
+	l := grid.L
+	me := comm.Rank()
+
+	// Classify every ghost cell by its owner.
+	type request struct {
+		wrapped [3]int32
+		pair    cellPair
+	}
+	needs := make(map[int][]request)
+	for z := box.Lo[2] - box.Ghost; z < box.Hi[2]+box.Ghost; z++ {
+		for y := box.Lo[1] - box.Ghost; y < box.Hi[1]+box.Ghost; y++ {
+			for x := box.Lo[0] - box.Ghost; x < box.Hi[0]+box.Ghost; x++ {
+				c := lattice.Coord{X: int32(x), Y: int32(y), Z: int32(z)}
+				if box.Owns(c) {
+					continue
+				}
+				w := l.Wrap(c)
+				owner := grid.RankOfCell(w.X, w.Y, w.Z)
+				shift := l.Position(c).Sub(l.Position(w))
+				pair := cellPair{
+					dst:   box.LocalIndex(c),
+					shift: shift,
+				}
+				if owner == me {
+					pair.src = box.LocalIndex(w)
+					e.selfCopy = append(e.selfCopy, pair)
+				} else {
+					needs[owner] = append(needs[owner], request{
+						wrapped: [3]int32{w.X, w.Y, w.Z},
+						pair:    pair,
+					})
+				}
+			}
+		}
+	}
+
+	// Handshake: send every other rank the (possibly empty) list of wrapped
+	// cells we need from it; receive everyone's requests of us.
+	for r := 0; r < comm.Size(); r++ {
+		if r == me {
+			continue
+		}
+		reqs := needs[r]
+		var p packer
+		for _, rq := range reqs {
+			p.i64(int64(rq.wrapped[0]))
+			p.i64(int64(rq.wrapped[1]))
+			p.i64(int64(rq.wrapped[2]))
+		}
+		comm.Send(r, tagReq, p.buf)
+		if len(reqs) > 0 {
+			e.recvPlans[r] = make([]cellPair, len(reqs))
+			for i, rq := range reqs {
+				e.recvPlans[r][i] = rq.pair
+			}
+		}
+	}
+	for i := 0; i < comm.Size()-1; i++ {
+		data, st := comm.Recv(mpi.AnySource, tagReq)
+		if len(data) == 0 {
+			continue
+		}
+		u := unpacker{buf: data}
+		var list []int
+		for !u.done() {
+			c := lattice.Coord{X: int32(u.i64()), Y: int32(u.i64()), Z: int32(u.i64())}
+			if !e.box.Owns(c) {
+				panic(fmt.Sprintf("md: rank %d asked rank %d for non-owned cell %+v",
+					st.Source, me, c))
+			}
+			list = append(list, box.LocalIndex(c))
+		}
+		e.sendPlans[st.Source] = list
+	}
+
+	// Peer set: union of both plans, sorted for deterministic processing.
+	seen := map[int]bool{}
+	for r := range e.recvPlans {
+		seen[r] = true
+	}
+	for r := range e.sendPlans {
+		seen[r] = true
+	}
+	for r := range seen {
+		e.peers = append(e.peers, r)
+	}
+	sort.Ints(e.peers)
+	return e
+}
+
+// packCellPos serializes one cell's two sites: per site ID, type, position,
+// and the run-away chain anchored there.
+func packCellPos(p *packer, s *neighbor.Store, base int) {
+	for b := 0; b < 2; b++ {
+		local := base + b
+		p.i64(s.ID[local])
+		p.u8(uint8(s.Type[local]))
+		p.vec(s.R[local])
+		n := 0
+		s.EachRunaway(local, func(_ int32, _ *neighbor.Runaway) { n++ })
+		p.u16(uint16(n))
+		s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			p.i64(a.ID)
+			p.u8(uint8(a.Type))
+			p.vec(a.R)
+		})
+	}
+}
+
+// unpackCellPos writes one received cell into the ghost region, applying the
+// periodic shift and rebuilding the run-away chains.
+func unpackCellPos(u *unpacker, s *neighbor.Store, base int, shift vec.V) {
+	for b := 0; b < 2; b++ {
+		local := base + b
+		s.ID[local] = u.i64()
+		s.Type[local] = units.Element(u.u8())
+		s.R[local] = u.vec().Add(shift)
+		s.ClearRunaways(local)
+		n := int(u.u16())
+		for k := 0; k < n; k++ {
+			s.AddRunaway(local, neighbor.Runaway{
+				ID:   u.i64(),
+				Type: units.Element(u.u8()),
+				R:    u.vec().Add(shift),
+			})
+		}
+	}
+}
+
+// ExchangePositions refreshes every ghost site's identity, position and
+// run-away chains from the owning ranks (and local periodic images).
+func (e *exchange) ExchangePositions(s *neighbor.Store) {
+	for _, cp := range e.selfCopy {
+		var p packer
+		packCellPos(&p, s, cp.src)
+		u := unpacker{buf: p.buf}
+		unpackCellPos(&u, s, cp.dst, cp.shift)
+	}
+	for _, peer := range e.peers {
+		list := e.sendPlans[peer]
+		var p packer
+		for _, base := range list {
+			packCellPos(&p, s, base)
+		}
+		e.comm.Send(peer, tagPos, p.buf)
+	}
+	for _, peer := range e.peers {
+		data, _ := e.comm.Recv(peer, tagPos)
+		u := unpacker{buf: data}
+		for _, cp := range e.recvPlans[peer] {
+			unpackCellPos(&u, s, cp.dst, cp.shift)
+		}
+		if !u.done() {
+			panic("md: trailing bytes in position ghost message")
+		}
+	}
+}
+
+// packCellRho serializes the densities of a cell: site densities plus chain
+// densities keyed by atom ID.
+func packCellRho(p *packer, s *neighbor.Store, base int) {
+	for b := 0; b < 2; b++ {
+		local := base + b
+		p.f64(s.Rho[local])
+		n := 0
+		s.EachRunaway(local, func(_ int32, _ *neighbor.Runaway) { n++ })
+		p.u16(uint16(n))
+		s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			p.i64(a.ID)
+			p.f64(a.Rho)
+		})
+	}
+}
+
+func unpackCellRho(u *unpacker, s *neighbor.Store, base int) {
+	for b := 0; b < 2; b++ {
+		local := base + b
+		s.Rho[local] = u.f64()
+		n := int(u.u16())
+		for k := 0; k < n; k++ {
+			id := u.i64()
+			rho := u.f64()
+			found := false
+			s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+				if a.ID == id {
+					a.Rho = rho
+					found = true
+				}
+			})
+			if !found {
+				panic(fmt.Sprintf("md: rho for unknown ghost run-away %d", id))
+			}
+		}
+	}
+}
+
+// ExchangeDensities refreshes ghost densities after the density pass.
+func (e *exchange) ExchangeDensities(s *neighbor.Store) {
+	for _, cp := range e.selfCopy {
+		var p packer
+		packCellRho(&p, s, cp.src)
+		u := unpacker{buf: p.buf}
+		unpackCellRho(&u, s, cp.dst)
+	}
+	for _, peer := range e.peers {
+		var p packer
+		for _, base := range e.sendPlans[peer] {
+			packCellRho(&p, s, base)
+		}
+		e.comm.Send(peer, tagRho, p.buf)
+	}
+	for _, peer := range e.peers {
+		data, _ := e.comm.Recv(peer, tagRho)
+		u := unpacker{buf: data}
+		for _, cp := range e.recvPlans[peer] {
+			unpackCellRho(&u, s, cp.dst)
+		}
+		if !u.done() {
+			panic("md: trailing bytes in density ghost message")
+		}
+	}
+}
+
+// migrant is a run-away atom in flight to the rank owning its new anchor.
+type migrant struct {
+	anchor lattice.Coord // wrapped global cell+basis of the new anchor
+	atom   neighbor.Runaway
+}
+
+// SendMigrants ships each migrant to the owner of its anchor and returns the
+// migrants received from the peer ranks, sorted by source. The atom's
+// position is translated into the wrapped frame by the caller.
+func (e *exchange) SendMigrants(out []migrant) []migrant {
+	byPeer := make(map[int][]migrant)
+	for _, m := range out {
+		owner := e.grid.RankOfCell(m.anchor.X, m.anchor.Y, m.anchor.Z)
+		if owner == e.comm.Rank() {
+			panic("md: local migrant routed through SendMigrants")
+		}
+		byPeer[owner] = append(byPeer[owner], m)
+	}
+	for peer := range byPeer {
+		found := false
+		for _, p := range e.peers {
+			if p == peer {
+				found = true
+				break
+			}
+		}
+		if !found {
+			panic(fmt.Sprintf("md: migrant target rank %d is not a ghost peer", peer))
+		}
+	}
+	for _, peer := range e.peers {
+		var p packer
+		for _, m := range byPeer[peer] {
+			p.i64(int64(m.anchor.X))
+			p.i64(int64(m.anchor.Y))
+			p.i64(int64(m.anchor.Z))
+			p.u8(uint8(m.anchor.B))
+			p.i64(m.atom.ID)
+			p.u8(uint8(m.atom.Type))
+			p.vec(m.atom.R)
+			p.vec(m.atom.Vel)
+		}
+		e.comm.Send(peer, tagMig, p.buf)
+	}
+	var in []migrant
+	for _, peer := range e.peers {
+		data, _ := e.comm.Recv(peer, tagMig)
+		u := unpacker{buf: data}
+		for !u.done() {
+			var m migrant
+			m.anchor = lattice.Coord{
+				X: int32(u.i64()), Y: int32(u.i64()), Z: int32(u.i64()), B: int8(u.u8()),
+			}
+			m.atom.ID = u.i64()
+			m.atom.Type = units.Element(u.u8())
+			m.atom.R = u.vec()
+			m.atom.Vel = u.vec()
+			in = append(in, m)
+		}
+	}
+	return in
+}
+
+// Stats returns the communication counters of the underlying endpoint.
+func (e *exchange) Stats() mpi.Stats { return e.comm.Stats }

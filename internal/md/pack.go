@@ -1,0 +1,53 @@
+package md
+
+import (
+	"encoding/binary"
+	"math"
+
+	"mdkmc/internal/vec"
+)
+
+// packer serializes the ghost-exchange payloads. Little-endian, fixed-width;
+// every field appended has a matching read in unpacker, and the tests
+// round-trip them.
+type packer struct{ buf []byte }
+
+func (p *packer) u8(v uint8)   { p.buf = append(p.buf, v) }
+func (p *packer) u16(v uint16) { p.buf = binary.LittleEndian.AppendUint16(p.buf, v) }
+func (p *packer) i64(v int64)  { p.buf = binary.LittleEndian.AppendUint64(p.buf, uint64(v)) }
+func (p *packer) f64(v float64) {
+	p.buf = binary.LittleEndian.AppendUint64(p.buf, math.Float64bits(v))
+}
+func (p *packer) vec(v vec.V) { p.f64(v.X); p.f64(v.Y); p.f64(v.Z) }
+
+// unpacker is the matching reader; it panics on truncated input because a
+// malformed ghost message is always a programming error, never user input.
+type unpacker struct {
+	buf []byte
+	off int
+}
+
+func (u *unpacker) u8() uint8 {
+	v := u.buf[u.off]
+	u.off++
+	return v
+}
+func (u *unpacker) u16() uint16 {
+	v := binary.LittleEndian.Uint16(u.buf[u.off:])
+	u.off += 2
+	return v
+}
+func (u *unpacker) i64() int64 {
+	v := binary.LittleEndian.Uint64(u.buf[u.off:])
+	u.off += 8
+	return int64(v)
+}
+func (u *unpacker) f64() float64 {
+	v := binary.LittleEndian.Uint64(u.buf[u.off:])
+	u.off += 8
+	return math.Float64frombits(v)
+}
+func (u *unpacker) vec() vec.V {
+	return vec.V{X: u.f64(), Y: u.f64(), Z: u.f64()}
+}
+func (u *unpacker) done() bool { return u.off >= len(u.buf) }

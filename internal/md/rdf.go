@@ -1,0 +1,95 @@
+package md
+
+import (
+	"math"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/vec"
+)
+
+// RDF is a radial distribution function g(r) histogram — the standard
+// structural fingerprint of an MD configuration; for BCC iron the peaks sit
+// at the neighbor shell distances a√3/2, a, a√2, ...
+type RDF struct {
+	RMax float64
+	Dr   float64
+	G    []float64 // normalized g(r) per bin
+}
+
+// BinCenter returns the r of bin i.
+func (g *RDF) BinCenter(i int) float64 { return (float64(i) + 0.5) * g.Dr }
+
+// Peaks returns the bin centers of local maxima with g(r) above the
+// threshold.
+func (g *RDF) Peaks(threshold float64) []float64 {
+	var out []float64
+	for i := 1; i < len(g.G)-1; i++ {
+		if g.G[i] > threshold && g.G[i] >= g.G[i-1] && g.G[i] >= g.G[i+1] {
+			out = append(out, g.BinCenter(i))
+		}
+	}
+	return out
+}
+
+// ComputeRDF accumulates g(r) over the owned atoms of the rank up to rMax
+// (capped at the wide-table reach) with the given bin count; histograms are
+// summed across ranks (collective).
+func ComputeRDF(r *Rank, rMax float64, bins int) *RDF {
+	if max := r.Pot.Cutoff + WideMargin; rMax > max {
+		rMax = max
+	}
+	g := &RDF{RMax: rMax, Dr: rMax / float64(bins), G: make([]float64, bins)}
+	counts := make([]float64, bins)
+	var nAtoms float64
+
+	s := r.Store
+	record := func(pos, p vec.V) {
+		d := pos.Sub(p).Norm()
+		if d > 0 && d < rMax {
+			counts[int(d/g.Dr)]++
+		}
+	}
+	// Partner enumeration around a home site: resident neighbors plus
+	// run-away chains, exactly like the force kernel's candidate walk.
+	partnersOf := func(pos vec.V, home int, basis int8) {
+		s.EachRunaway(home, func(_ int32, a *neighbor.Runaway) { record(pos, a.R) })
+		for _, dlt := range s.Deltas(basis) {
+			j := home + int(dlt)
+			if !s.IsVacancy(j) {
+				record(pos, s.R[j])
+			}
+			s.EachRunaway(j, func(_ int32, a *neighbor.Runaway) { record(pos, a.R) })
+		}
+	}
+	r.Box.EachOwned(func(c lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			nAtoms++
+			partnersOf(s.R[local], local, c.B)
+		}
+		s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			nAtoms++
+			if !s.IsVacancy(local) {
+				record(a.R, s.R[local]) // the resident at the anchor site
+			}
+			partnersOf(a.R, local, c.B)
+		})
+	})
+
+	tot := r.Comm.Allreduce(mpi.Sum, append(counts, nAtoms)...)
+	n := tot[len(tot)-1]
+	if n == 0 {
+		return g
+	}
+	// Normalize against the ideal-gas shell population at the global
+	// number density.
+	side := r.L.Side()
+	density := n / (side.X * side.Y * side.Z)
+	for i := 0; i < bins; i++ {
+		rMid := g.BinCenter(i)
+		shell := 4 * math.Pi * rMid * rMid * g.Dr
+		g.G[i] = tot[i] / (n * density * shell)
+	}
+	return g
+}

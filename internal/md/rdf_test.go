@@ -1,0 +1,85 @@
+package md
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRDFPerfectBCCPeaks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 0
+	runWorld(t, cfg, func(r *Rank) {
+		g := ComputeRDF(r, 5.0, 250)
+		peaks := g.Peaks(1.5)
+		if len(peaks) < 3 {
+			t.Fatalf("found %d peaks, want >= 3 shells", len(peaks))
+		}
+		want := []float64{
+			cfg.A * math.Sqrt(3) / 2, // 1NN 2.472
+			cfg.A,                    // 2NN 2.855
+			cfg.A * math.Sqrt2,       // 3NN 4.038
+		}
+		for i, w := range want {
+			if math.Abs(peaks[i]-w) > 2*g.Dr {
+				t.Errorf("peak %d at %.3f Å, want %.3f", i, peaks[i], w)
+			}
+		}
+		// Between shells the perfect crystal has exactly zero density.
+		gap := int((cfg.A * 0.95) / g.Dr) // between 1NN and 2NN? pick 1.5 Å
+		gap = int(1.5 / g.Dr)
+		if g.G[gap] != 0 {
+			t.Errorf("g(1.5Å) = %v on a perfect lattice", g.G[gap])
+		}
+	})
+}
+
+func TestRDFThermalBroadening(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 600
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			r.Step()
+		}
+		g := ComputeRDF(r, 5.0, 100)
+		// Peaks survive but are broadened: some density just off the ideal
+		// shell distances.
+		peak1 := int(cfg.A * math.Sqrt(3) / 2 / g.Dr)
+		if g.G[peak1] < 1 {
+			t.Errorf("1NN peak washed out: g=%v", g.G[peak1])
+		}
+		side := g.G[peak1-2] + g.G[peak1+2]
+		if side == 0 {
+			t.Errorf("no thermal broadening around the 1NN shell")
+		}
+	})
+}
+
+func TestRDFParallelMatchesSerial(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Cells = [3]int{8, 6, 6}
+	cfg.Temperature = 0
+	var serial []float64
+	runWorld(t, cfg, func(r *Rank) {
+		serial = ComputeRDF(r, 4.5, 90).G
+	})
+	cfg.Grid = [3]int{2, 1, 1}
+	runWorld(t, cfg, func(r *Rank) {
+		par := ComputeRDF(r, 4.5, 90).G
+		for i := range par {
+			if math.Abs(par[i]-serial[i]) > 1e-9 {
+				t.Fatalf("bin %d: parallel %v vs serial %v", i, par[i], serial[i])
+			}
+		}
+	})
+}
+
+func TestRDFCapsAtTableReach(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 0
+	runWorld(t, cfg, func(r *Rank) {
+		g := ComputeRDF(r, 100, 10)
+		if g.RMax > r.Pot.Cutoff+WideMargin+1e-9 {
+			t.Errorf("rMax %v beyond table reach", g.RMax)
+		}
+	})
+}

@@ -1,0 +1,401 @@
+package md
+
+import (
+	"fmt"
+	"math"
+
+	"mdkmc/internal/eam"
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/rng"
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+// Rank is the per-process MD simulation state: one subdomain of the global
+// box plus the machinery to advance it.
+type Rank struct {
+	Cfg   Config
+	Comm  *mpi.Comm
+	L     *lattice.Lattice
+	Grid  *lattice.Grid
+	Box   *lattice.Box
+	Store *neighbor.Store
+	Pot   *eam.Potential
+	FF    *ForceField
+
+	Ex        *exchange
+	StepCount int
+	LastStats OpStats // operation counts of the most recent force step
+	LastPE    float64 // owned share of potential energy at the last step
+
+	// Kernel, when set, replaces the plain force computation with the
+	// Sunway CPE-offloaded kernel (see cpekernel.go).
+	Kernel *CPEKernel
+}
+
+// NewRank builds the rank-local state and computes initial forces. It is a
+// collective call: every rank of cfg's grid must enter it.
+func NewRank(cfg Config, comm *mpi.Comm) (*Rank, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks() != comm.Size() {
+		return nil, fmt.Errorf("md: grid %v needs %d ranks, world has %d",
+			cfg.Grid, cfg.Ranks(), comm.Size())
+	}
+	l := lattice.New(cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], cfg.A)
+	grid, err := lattice.NewGrid(l, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2])
+	if err != nil {
+		return nil, err
+	}
+	var pot *eam.Potential
+	if cfg.Species == units.Cu || cfg.CuFraction > 0 {
+		pot = eam.NewFeCu(cfg.Mode, cfg.TablePoints)
+	} else {
+		pot = eam.NewFe(cfg.Mode, cfg.TablePoints)
+	}
+	// The wide table must reach every possible run-away pairing.
+	tab := l.NeighborOffsets(pot.Cutoff + WideMargin)
+	box := grid.Box(comm.Rank(), tab.MaxCellReach())
+	// A subdomain narrower than its ghost reach would alias its own halo.
+	for d := 0; d < 3; d++ {
+		if box.Hi[d]-box.Lo[d] < 1 {
+			return nil, fmt.Errorf("md: empty subdomain in dim %d", d)
+		}
+	}
+	store := neighbor.NewStore(box, tab, cfg.Species)
+	r := &Rank{
+		Cfg:   cfg,
+		Comm:  comm,
+		L:     l,
+		Grid:  grid,
+		Box:   box,
+		Store: store,
+		Pot:   pot,
+		FF:    NewForceField(store, pot, cfg.Skin),
+	}
+	r.Ex = newExchange(comm, grid, box)
+	if cfg.CuFraction > 0 {
+		r.substituteCopper(cfg.CuFraction)
+	}
+	r.initVelocities()
+	if cfg.PKA != nil {
+		r.applyPKA(*cfg.PKA)
+	}
+	r.computeForces()
+	return r, nil
+}
+
+// substituteCopper replaces the given fraction of atoms with Cu. The choice
+// is a pure function of (seed, global site index), so every rank — and
+// every rank's ghost copies — agrees without communication.
+func (r *Rank) substituteCopper(fraction float64) {
+	base := rng.New(r.Cfg.Seed).Derive(0xC0)
+	threshold := uint64(fraction * float64(^uint64(0)))
+	// All local sites, ghosts included, so ghost types start consistent.
+	for local := 0; local < r.Box.NumLocalSites(); local++ {
+		c := r.Box.GlobalCoord(local)
+		gi := uint64(r.L.Index(r.L.Wrap(c)))
+		if base.Derive(gi).Uint64() <= threshold {
+			r.Store.Type[local] = units.Cu
+		}
+	}
+}
+
+// ApplyRecoil gives the atom resident at the (wrapped) site the given
+// recoil energy — the building block of multi-cascade irradiation
+// campaigns. It is collective only in the sense that every rank may call it
+// with the same arguments; the rank owning the site applies it. Forces must
+// be refreshed by the next Step.
+func (r *Rank) ApplyRecoil(site lattice.Coord, energy float64, dir vec.V) bool {
+	site = r.L.Wrap(site)
+	if !r.Box.Owns(site) {
+		return false
+	}
+	local := r.Box.LocalIndex(site)
+	if r.Store.IsVacancy(local) {
+		return false
+	}
+	if dir.Norm2() == 0 {
+		dir = vec.V{X: 1, Y: 0.35, Z: 0.2}
+	}
+	dir = dir.Scale(1 / dir.Norm())
+	speed := math.Sqrt(2 * energy / r.Store.Type[local].Mass())
+	r.Store.Vel[local] = r.Store.Vel[local].Add(dir.Scale(speed))
+	return true
+}
+
+// initVelocities draws Maxwell-Boltzmann velocities. Each atom's stream is
+// derived from (seed, global site index) so the initial state is identical
+// for every process-grid shape — the foundation of the parallel-equals-
+// serial tests.
+func (r *Rank) initVelocities() {
+	if r.Cfg.Temperature <= 0 {
+		return
+	}
+	base := rng.New(r.Cfg.Seed)
+	var sum vec.V
+	var n float64
+	r.Box.EachOwned(func(c lattice.Coord, local int) {
+		src := base.Derive(uint64(r.L.Index(c)))
+		sigma := units.ThermalSigma(r.Cfg.Temperature, r.Store.Type[local].Mass())
+		v := vec.V{X: src.Norm(), Y: src.Norm(), Z: src.Norm()}.Scale(sigma)
+		r.Store.Vel[local] = v
+		sum = sum.Add(v)
+		n++
+	})
+	// Remove the global center-of-mass drift.
+	tot := r.Comm.Allreduce(mpi.Sum, sum.X, sum.Y, sum.Z, n)
+	mean := vec.V{X: tot[0], Y: tot[1], Z: tot[2]}.Scale(1 / tot[3])
+	r.Box.EachOwned(func(_ lattice.Coord, local int) {
+		r.Store.Vel[local] = r.Store.Vel[local].Sub(mean)
+	})
+}
+
+// applyPKA gives the atom nearest the box center the recoil energy of the
+// primary knock-on atom — the cascade's starting condition.
+func (r *Rank) applyPKA(p PKA) {
+	center := lattice.Coord{
+		X: int32(r.Cfg.Cells[0] / 2),
+		Y: int32(r.Cfg.Cells[1] / 2),
+		Z: int32(r.Cfg.Cells[2] / 2),
+		B: 0,
+	}
+	r.ApplyRecoil(center, p.Energy,
+		vec.V{X: p.Direction[0], Y: p.Direction[1], Z: p.Direction[2]})
+}
+
+// computeForces runs the ghost protocol and the two force passes, through
+// the CPE kernel when one is attached.
+func (r *Rank) computeForces() {
+	r.Ex.ExchangePositions(r.Store)
+	var st OpStats
+	if r.Kernel != nil {
+		st = r.Kernel.Densities(r.Store)
+	} else {
+		st = r.FF.Densities(r.Store)
+	}
+	r.Ex.ExchangeDensities(r.Store)
+	var fst OpStats
+	if r.Kernel != nil {
+		fst, r.LastPE = r.Kernel.Forces(r.Store)
+	} else {
+		fst, r.LastPE = r.FF.Forces(r.Store)
+	}
+	st.Add(fst)
+	r.LastStats = st
+}
+
+// halfKick advances owned velocities by dt/2 under the current forces.
+func (r *Rank) halfKick() {
+	h := r.Cfg.Dt / 2
+	s := r.Store
+	r.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			s.Vel[local] = s.Vel[local].MulAdd(h/s.Type[local].Mass(), s.F[local])
+		}
+		s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			a.Vel = a.Vel.MulAdd(h/a.Type.Mass(), a.F)
+		})
+	})
+}
+
+// drift advances owned positions by dt under the current velocities.
+func (r *Rank) drift() {
+	dt := r.Cfg.Dt
+	s := r.Store
+	r.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			s.R[local] = s.R[local].MulAdd(dt, s.Vel[local])
+		}
+		s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			a.R = a.R.MulAdd(dt, a.Vel)
+		})
+	})
+}
+
+// placeLocal anchors atom a at the owned site `anchor`: refilling a vacancy
+// when the atom has effectively returned to a lattice site, chaining it as
+// a run-away otherwise.
+func (r *Rank) placeLocal(a neighbor.Runaway, anchor lattice.Coord) {
+	local := r.Box.LocalIndex(anchor)
+	if r.Store.IsVacancy(local) &&
+		vec.Dist(a.R, r.L.Position(anchor)) < RunawayThreshold {
+		r.Store.FillSite(local, a)
+		return
+	}
+	r.Store.AddRunaway(local, a)
+}
+
+// route places atom a at its (unwrapped) anchor: locally when this rank
+// owns it — including the case of an atom that drifted across a periodic
+// boundary back into this rank's own domain — or as a migrant to the
+// owning neighbor rank.
+func (r *Rank) route(a neighbor.Runaway, anchor lattice.Coord, out *[]migrant) {
+	if r.Box.Owns(anchor) {
+		r.placeLocal(a, anchor)
+		return
+	}
+	w := r.L.Wrap(anchor)
+	shift := r.L.Position(w).Sub(r.L.Position(anchor))
+	a.R = a.R.Add(shift)
+	if r.Grid.RankOfCell(w.X, w.Y, w.Z) == r.Comm.Rank() {
+		// Periodic image of this rank's own domain.
+		r.placeLocal(a, w)
+		return
+	}
+	*out = append(*out, migrant{anchor: w, atom: a})
+}
+
+// relink reassigns every owned atom to its current nearest lattice site:
+// residents that strayed beyond the threshold become run-aways (leaving a
+// vacancy), run-aways are re-anchored or refill vacancies, and atoms whose
+// anchor moved off-rank migrate.
+func (r *Rank) relink() {
+	s := r.Store
+	var out []migrant
+
+	// Residents that left their site.
+	var converts []int
+	r.Box.EachOwned(func(c lattice.Coord, local int) {
+		if s.IsVacancy(local) {
+			return
+		}
+		home := r.L.Position(c)
+		if s.R[local].Sub(home).Norm2() > RunawayThreshold*RunawayThreshold {
+			converts = append(converts, local)
+		}
+	})
+	for _, local := range converts {
+		a := s.MakeVacancy(local)
+		anchor := r.L.NearestSiteUnwrapped(a.R)
+		r.route(a, anchor, &out)
+	}
+
+	// Run-aways whose anchor changed or that can refill a vacancy.
+	type move struct {
+		site int
+		ref  int32
+	}
+	var moves []move
+	r.Box.EachOwned(func(c lattice.Coord, local int) {
+		s.EachRunaway(local, func(ref int32, a *neighbor.Runaway) {
+			anchor := r.L.NearestSiteUnwrapped(a.R)
+			if anchor == c {
+				// Same anchor; refill only when it is a vacancy and the atom
+				// has settled onto it.
+				if s.IsVacancy(local) && vec.Dist(a.R, r.L.Position(c)) < RunawayThreshold {
+					moves = append(moves, move{local, ref})
+				}
+				return
+			}
+			moves = append(moves, move{local, ref})
+		})
+	})
+	for _, m := range moves {
+		a := s.RemoveRunaway(m.site, m.ref)
+		anchor := r.L.NearestSiteUnwrapped(a.R)
+		r.route(a, anchor, &out)
+	}
+
+	// Cross-rank migration; incoming migrants are routed locally.
+	in := r.Ex.SendMigrants(out)
+	for _, m := range in {
+		anchor := lattice.Coord{X: m.anchor.X, Y: m.anchor.Y, Z: m.anchor.Z, B: m.anchor.B}
+		if !r.Box.Owns(anchor) {
+			panic("md: received migrant for non-owned anchor")
+		}
+		var dummy []migrant
+		r.route(m.atom, anchor, &dummy)
+		if len(dummy) != 0 {
+			panic("md: migrant re-migrated on arrival")
+		}
+	}
+}
+
+// Step advances the simulation by one velocity-Verlet step.
+func (r *Rank) Step() {
+	r.halfKick()
+	r.drift()
+	r.relink()
+	r.computeForces()
+	r.halfKick()
+	if th := r.Cfg.Thermostat; th != nil {
+		r.applyThermostat(*th)
+	}
+	r.StepCount++
+}
+
+// applyThermostat rescales velocities toward the target temperature
+// (Berendsen weak coupling).
+func (r *Rank) applyThermostat(th Berendsen) {
+	ke := KineticEnergy(r.Store)
+	n := float64(CountOwnedAtoms(r.Store))
+	tot := r.Comm.Allreduce(mpi.Sum, ke, n)
+	t := units.KineticTemperature(tot[0], int(tot[1]))
+	if t <= 0 {
+		return
+	}
+	lambda := math.Sqrt(1 + r.Cfg.Dt/th.Tau*(th.Target/t-1))
+	s := r.Store
+	r.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if !s.IsVacancy(local) {
+			s.Vel[local] = s.Vel[local].Scale(lambda)
+		}
+		s.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+			a.Vel = a.Vel.Scale(lambda)
+		})
+	})
+}
+
+// TotalEnergy returns the global kinetic and potential energies
+// (collective).
+func (r *Rank) TotalEnergy() (ke, pe float64) {
+	tot := r.Comm.Allreduce(mpi.Sum, KineticEnergy(r.Store), r.LastPE)
+	return tot[0], tot[1]
+}
+
+// Temperature returns the instantaneous global temperature (collective).
+func (r *Rank) Temperature() float64 {
+	tot := r.Comm.Allreduce(mpi.Sum, KineticEnergy(r.Store), float64(CountOwnedAtoms(r.Store)))
+	return units.KineticTemperature(tot[0], int(tot[1]))
+}
+
+// GlobalAtomCount returns the global number of atoms (collective); it is
+// conserved by construction and asserted in tests.
+func (r *Rank) GlobalAtomCount() int {
+	tot := r.Comm.Allreduce(mpi.Sum, float64(CountOwnedAtoms(r.Store)))
+	return int(math.Round(tot[0]))
+}
+
+// GlobalVacancyCount returns the global number of vacancies (collective).
+func (r *Rank) GlobalVacancyCount() int {
+	tot := r.Comm.Allreduce(mpi.Sum, float64(r.Store.CountVacancies()))
+	return int(math.Round(tot[0]))
+}
+
+// VacancyPositions returns the ideal positions of this rank's owned
+// vacancies in the wrapped global frame — the MD output handed to KMC
+// ("outputs the coordinates of vacancy", §2.2).
+func (r *Rank) VacancyPositions() []vec.V {
+	var out []vec.V
+	r.Box.EachOwned(func(c lattice.Coord, local int) {
+		if r.Store.IsVacancy(local) {
+			out = append(out, r.L.Position(r.L.Wrap(c)))
+		}
+	})
+	return out
+}
+
+// OwnedVacancySites returns the wrapped coordinates of owned vacancy sites.
+func (r *Rank) OwnedVacancySites() []lattice.Coord {
+	var out []lattice.Coord
+	r.Box.EachOwned(func(c lattice.Coord, local int) {
+		if r.Store.IsVacancy(local) {
+			out = append(out, r.L.Wrap(c))
+		}
+	})
+	return out
+}

@@ -1,0 +1,77 @@
+package mpi
+
+import "fmt"
+
+// Cart is a periodic 3-D Cartesian topology over a communicator, the process
+// arrangement used by the standard domain decomposition of both MD and KMC.
+type Cart struct {
+	Comm *Comm
+	Dims [3]int
+}
+
+// NewCart builds the topology; the product of dims must equal the world
+// size.
+func NewCart(c *Comm, dims [3]int) (*Cart, error) {
+	if dims[0]*dims[1]*dims[2] != c.Size() {
+		return nil, fmt.Errorf("mpi: cart dims %v do not cover %d ranks", dims, c.Size())
+	}
+	for _, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("mpi: non-positive cart dimension in %v", dims)
+		}
+	}
+	return &Cart{Comm: c, Dims: dims}, nil
+}
+
+// Coords returns the Cartesian coordinates of rank r (x fastest).
+func (t *Cart) Coords(r int) [3]int {
+	var c [3]int
+	c[0] = r % t.Dims[0]
+	r /= t.Dims[0]
+	c[1] = r % t.Dims[1]
+	c[2] = r / t.Dims[1]
+	return c
+}
+
+// Rank returns the rank at coordinates c, wrapped periodically.
+func (t *Cart) Rank(c [3]int) int {
+	for d := 0; d < 3; d++ {
+		c[d] %= t.Dims[d]
+		if c[d] < 0 {
+			c[d] += t.Dims[d]
+		}
+	}
+	return (c[2]*t.Dims[1]+c[1])*t.Dims[0] + c[0]
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// dimension dim, as MPI_Cart_shift does with periodic boundaries.
+func (t *Cart) Shift(dim, disp int) (src, dst int) {
+	me := t.Coords(t.Comm.Rank())
+	up := me
+	up[dim] += disp
+	down := me
+	down[dim] -= disp
+	return t.Rank(down), t.Rank(up)
+}
+
+// Neighbors returns the 26 distinct neighbor ranks (including diagonal
+// neighbors) of this rank, excluding itself; small topologies where several
+// directions alias to the same rank are deduplicated.
+func (t *Cart) Neighbors() []int {
+	me := t.Coords(t.Comm.Rank())
+	seen := map[int]bool{t.Comm.Rank(): true}
+	var out []int
+	for dz := -1; dz <= 1; dz++ {
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				r := t.Rank([3]int{me[0] + dx, me[1] + dy, me[2] + dz})
+				if !seen[r] {
+					seen[r] = true
+					out = append(out, r)
+				}
+			}
+		}
+	}
+	return out
+}

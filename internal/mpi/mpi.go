@@ -1,0 +1,336 @@
+// Package mpi is an in-process message-passing runtime with the subset of
+// MPI semantics the simulation needs: ranks with two-sided tagged
+// send/receive (including Probe for messages of unknown size and source,
+// the primitive the paper's on-demand KMC communication is built on),
+// one-sided windows with Put and fence synchronization (the alternative
+// on-demand implementation of §2.2.1), the collectives used for time
+// synchronization, and a Cartesian topology helper.
+//
+// Ranks are goroutines inside one OS process: Send copies the payload into
+// the destination mailbox and never blocks, Recv blocks until a matching
+// message arrives. Every rank keeps exact byte and message counters, which
+// is how the communication-volume experiments (paper Figures 12-13) measure
+// both protocols.
+//
+// The substitution of real inter-node MPI by an in-process runtime is
+// documented in DESIGN.md §2: the experiments that matter compare
+// communication *volume* (exact here) and communication *time* (modeled
+// from the counters with an alpha-beta cost model in internal/perf).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any rank in Recv and Probe.
+const AnySource = -1
+
+// AnyTag matches messages with any tag in Recv and Probe.
+const AnyTag = -1
+
+// Status describes a matched message.
+type Status struct {
+	Source int
+	Tag    int
+	Size   int
+}
+
+type message struct {
+	src  int
+	tag  int
+	data []byte
+}
+
+// mailbox is one rank's incoming message queue.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// Stats records a rank's communication activity.
+type Stats struct {
+	MsgsSent  int64
+	BytesSent int64
+	MsgsRecv  int64
+	BytesRecv int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.MsgsSent += other.MsgsSent
+	s.BytesSent += other.BytesSent
+	s.MsgsRecv += other.MsgsRecv
+	s.BytesRecv += other.BytesRecv
+}
+
+// World owns the mailboxes and collective state for a fixed set of ranks.
+type World struct {
+	n     int
+	boxes []*mailbox
+
+	collMu   sync.Mutex
+	collCond *sync.Cond
+	collGen  uint64
+	collCnt  int
+	collAcc  []float64
+	collOut  []float64
+	gatherIn [][]byte
+
+	winPending *winShared
+	winCreated int
+}
+
+// NewWorld creates a world with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{n: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	w.collCond = sync.NewCond(&w.collMu)
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.n }
+
+// Run executes fn on every rank concurrently and waits for all to return.
+// A panic on any rank is re-raised on the caller after all surviving ranks
+// finish or deadlock is avoided by the panicking rank's absence being fatal;
+// tests rely on panics propagating.
+func (w *World) Run(fn func(c *Comm)) {
+	var wg sync.WaitGroup
+	panics := make(chan interface{}, w.n)
+	for r := 0; r < w.n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics <- fmt.Sprintf("rank %d: %v", rank, p)
+					// Wake everyone so blocked ranks can notice shutdown in
+					// tests that expect the panic to surface.
+					for _, b := range w.boxes {
+						b.cond.Broadcast()
+					}
+				}
+			}()
+			fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case p := <-panics:
+		panic(p)
+	default:
+	}
+}
+
+// Comm is one rank's endpoint.
+type Comm struct {
+	world *World
+	rank  int
+	Stats Stats
+}
+
+// Rank returns this endpoint's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.n }
+
+// Send delivers data to rank `to` with the given tag. The payload is copied;
+// the call never blocks (buffered semantics).
+func (c *Comm) Send(to, tag int, data []byte) {
+	if to < 0 || to >= c.world.n {
+		panic(fmt.Sprintf("mpi: send to invalid rank %d", to))
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	box := c.world.boxes[to]
+	box.mu.Lock()
+	box.pending = append(box.pending, message{src: c.rank, tag: tag, data: cp})
+	box.mu.Unlock()
+	box.cond.Broadcast()
+	c.Stats.MsgsSent++
+	c.Stats.BytesSent += int64(len(data))
+}
+
+// match returns the index of the first pending message matching (src, tag),
+// or -1. Caller holds the mailbox lock. FIFO order per matching pair is
+// preserved.
+func match(pending []message, src, tag int) int {
+	for i, m := range pending {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload and status.
+func (c *Comm) Recv(src, tag int) ([]byte, Status) {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		if i := match(box.pending, src, tag); i >= 0 {
+			m := box.pending[i]
+			box.pending = append(box.pending[:i], box.pending[i+1:]...)
+			c.Stats.MsgsRecv++
+			c.Stats.BytesRecv += int64(len(m.data))
+			return m.data, Status{Source: m.src, Tag: m.tag, Size: len(m.data)}
+		}
+		box.cond.Wait()
+	}
+}
+
+// Probe blocks until a message matching (src, tag) is available and returns
+// its status without consuming it — the MPI_Probe pattern the paper uses for
+// messages whose size and source are only known at runtime.
+func (c *Comm) Probe(src, tag int) Status {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	for {
+		if i := match(box.pending, src, tag); i >= 0 {
+			m := box.pending[i]
+			return Status{Source: m.src, Tag: m.tag, Size: len(m.data)}
+		}
+		box.cond.Wait()
+	}
+}
+
+// Iprobe reports whether a matching message is available, without blocking.
+func (c *Comm) Iprobe(src, tag int) (Status, bool) {
+	box := c.world.boxes[c.rank]
+	box.mu.Lock()
+	defer box.mu.Unlock()
+	if i := match(box.pending, src, tag); i >= 0 {
+		m := box.pending[i]
+		return Status{Source: m.src, Tag: m.tag, Size: len(m.data)}, true
+	}
+	return Status{}, false
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	w := c.world
+	w.collMu.Lock()
+	gen := w.collGen
+	w.collCnt++
+	if w.collCnt == w.n {
+		w.collCnt = 0
+		w.collGen++
+		w.collCond.Broadcast()
+	} else {
+		for w.collGen == gen {
+			w.collCond.Wait()
+		}
+	}
+	w.collMu.Unlock()
+}
+
+// Op is a reduction operator for Allreduce.
+type Op int
+
+// Reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (o Op) apply(a, b float64) float64 {
+	switch o {
+	case Max:
+		if b > a {
+			return b
+		}
+		return a
+	case Min:
+		if b < a {
+			return b
+		}
+		return a
+	default:
+		return a + b
+	}
+}
+
+// Allreduce combines each rank's vals element-wise with op and returns the
+// result, identical on every rank. All ranks must pass the same length.
+func (c *Comm) Allreduce(op Op, vals ...float64) []float64 {
+	w := c.world
+	w.collMu.Lock()
+	gen := w.collGen
+	if w.collCnt == 0 {
+		w.collAcc = append(w.collAcc[:0], vals...)
+	} else {
+		if len(vals) != len(w.collAcc) {
+			w.collMu.Unlock()
+			panic("mpi: allreduce length mismatch across ranks")
+		}
+		for i, v := range vals {
+			w.collAcc[i] = op.apply(w.collAcc[i], v)
+		}
+	}
+	w.collCnt++
+	if w.collCnt == w.n {
+		w.collOut = append(w.collOut[:0], w.collAcc...)
+		w.collCnt = 0
+		w.collGen++
+		w.collCond.Broadcast()
+	} else {
+		for w.collGen == gen {
+			w.collCond.Wait()
+		}
+	}
+	out := make([]float64, len(w.collOut))
+	copy(out, w.collOut)
+	w.collMu.Unlock()
+	// Model the collective as one message per rank for accounting purposes.
+	c.Stats.MsgsSent++
+	c.Stats.BytesSent += int64(8 * len(vals))
+	return out
+}
+
+// Allgather collects each rank's payload and returns all payloads indexed by
+// rank, identical on every rank.
+func (c *Comm) Allgather(data []byte) [][]byte {
+	w := c.world
+	w.collMu.Lock()
+	gen := w.collGen
+	if w.collCnt == 0 {
+		w.gatherIn = make([][]byte, w.n)
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	w.gatherIn[c.rank] = cp
+	w.collCnt++
+	if w.collCnt == w.n {
+		w.collCnt = 0
+		w.collGen++
+		w.collCond.Broadcast()
+	} else {
+		for w.collGen == gen {
+			w.collCond.Wait()
+		}
+	}
+	out := w.gatherIn
+	w.collMu.Unlock()
+	c.Stats.MsgsSent += int64(w.n - 1)
+	c.Stats.BytesSent += int64(len(data) * (w.n - 1))
+	return out
+}

@@ -1,0 +1,409 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecvBasic(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []byte("hello"))
+		} else {
+			data, st := c.Recv(0, 7)
+			if string(data) != "hello" {
+				t.Errorf("recv %q", data)
+			}
+			if st.Source != 0 || st.Tag != 7 || st.Size != 5 {
+				t.Errorf("status %+v", st)
+			}
+		}
+	})
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []byte{1, 2, 3}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the delivered message
+		} else {
+			data, _ := c.Recv(0, 0)
+			if data[0] != 1 {
+				t.Errorf("payload aliased sender buffer: %v", data)
+			}
+		}
+	})
+}
+
+func TestFIFOPerSourceAndTag(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 10; i++ {
+				c.Send(1, 3, []byte{byte(i)})
+			}
+		} else {
+			for i := 0; i < 10; i++ {
+				data, _ := c.Recv(0, 3)
+				if int(data[0]) != i {
+					t.Errorf("out of order: got %d at position %d", data[0], i)
+				}
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 1, []byte("first-tag1"))
+			c.Send(1, 2, []byte("first-tag2"))
+		} else {
+			// Receive tag 2 before tag 1: matching must skip the tag-1
+			// message.
+			d2, _ := c.Recv(0, 2)
+			d1, _ := c.Recv(0, 1)
+			if string(d2) != "first-tag2" || string(d1) != "first-tag1" {
+				t.Errorf("tag matching broken: %q %q", d1, d2)
+			}
+		}
+	})
+}
+
+func TestAnySource(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			seen := map[int]bool{}
+			for i := 0; i < n-1; i++ {
+				_, st := c.Recv(AnySource, 5)
+				seen[st.Source] = true
+			}
+			if len(seen) != n-1 {
+				t.Errorf("sources seen: %v", seen)
+			}
+		} else {
+			c.Send(0, 5, []byte{byte(c.Rank())})
+		}
+	})
+}
+
+func TestProbeThenRecv(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 9, make([]byte, 123))
+		} else {
+			st := c.Probe(AnySource, 9)
+			if st.Size != 123 {
+				t.Errorf("probe size %d", st.Size)
+			}
+			// Probe must not consume: Recv still sees it.
+			data, _ := c.Recv(st.Source, st.Tag)
+			if len(data) != 123 {
+				t.Errorf("recv after probe got %d bytes", len(data))
+			}
+		}
+	})
+}
+
+func TestIprobe(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 1 {
+			if _, ok := c.Iprobe(AnySource, AnyTag); ok {
+				t.Errorf("Iprobe reported a phantom message")
+			}
+			c.Send(0, 0, nil) // release rank 0
+		} else {
+			c.Recv(1, 0)
+		}
+	})
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	const n = 8
+	w := NewWorld(n)
+	var before, after int64
+	w.Run(func(c *Comm) {
+		atomic.AddInt64(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&before) != n {
+			t.Errorf("rank %d passed barrier before all arrived", c.Rank())
+		}
+		atomic.AddInt64(&after, 1)
+		c.Barrier()
+		if atomic.LoadInt64(&after) != n {
+			t.Errorf("rank %d: second barrier leaked", c.Rank())
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		for i := 0; i < 50; i++ {
+			c.Barrier()
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	const n = 6
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		r := float64(c.Rank())
+		sum := c.Allreduce(Sum, r, 1)
+		if sum[0] != float64(n*(n-1)/2) || sum[1] != n {
+			t.Errorf("sum = %v", sum)
+		}
+		mx := c.Allreduce(Max, r)
+		if mx[0] != n-1 {
+			t.Errorf("max = %v", mx)
+		}
+		mn := c.Allreduce(Min, r)
+		if mn[0] != 0 {
+			t.Errorf("min = %v", mn)
+		}
+	})
+}
+
+func TestAllreduceRepeated(t *testing.T) {
+	const n = 3
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		for i := 0; i < 20; i++ {
+			got := c.Allreduce(Sum, 1)
+			if got[0] != n {
+				t.Errorf("iteration %d: sum %v", i, got)
+			}
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	const n = 5
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		payload := []byte(fmt.Sprintf("rank-%d", c.Rank()))
+		all := c.Allgather(payload)
+		if len(all) != n {
+			t.Fatalf("gathered %d entries", len(all))
+		}
+		for r, d := range all {
+			want := fmt.Sprintf("rank-%d", r)
+			if string(d) != want {
+				t.Errorf("slot %d = %q, want %q", r, d, want)
+			}
+		}
+	})
+}
+
+func TestStatsCounting(t *testing.T) {
+	w := NewWorld(2)
+	var sent, recvd Stats
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 100))
+			c.Send(1, 0, make([]byte, 50))
+			sent = c.Stats
+		} else {
+			c.Recv(0, 0)
+			c.Recv(0, 0)
+			recvd = c.Stats
+		}
+	})
+	if sent.MsgsSent != 2 || sent.BytesSent != 150 {
+		t.Errorf("sender stats %+v", sent)
+	}
+	if recvd.MsgsRecv != 2 || recvd.BytesRecv != 150 {
+		t.Errorf("receiver stats %+v", recvd)
+	}
+	var total Stats
+	total.Add(sent)
+	total.Add(recvd)
+	if total.BytesSent != 150 || total.BytesRecv != 150 {
+		t.Errorf("aggregate stats %+v", total)
+	}
+}
+
+func TestWindowPutFence(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		win := NewWin(c)
+		// Every rank puts its rank byte at rank 0.
+		if c.Rank() != 0 {
+			win.Put(0, []byte{byte(c.Rank())})
+		}
+		got := win.Fence()
+		if c.Rank() == 0 {
+			if len(got) != n-1 {
+				t.Fatalf("rank 0 received %d puts", len(got))
+			}
+			for i, m := range got {
+				if m.Source != i+1 || m.Data[0] != byte(i+1) {
+					t.Errorf("put %d: %+v (must be sorted by source)", i, m)
+				}
+			}
+		} else if len(got) != 0 {
+			t.Errorf("rank %d received %d puts", c.Rank(), len(got))
+		}
+		// Second epoch: nothing pending.
+		if got := win.Fence(); len(got) != 0 {
+			t.Errorf("stale puts leaked into next epoch: %d", len(got))
+		}
+	})
+}
+
+func TestWindowEpochIsolation(t *testing.T) {
+	const n = 2
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		win := NewWin(c)
+		for epoch := 0; epoch < 5; epoch++ {
+			if c.Rank() == 0 {
+				win.Put(1, []byte{byte(epoch)})
+			}
+			got := win.Fence()
+			if c.Rank() == 1 {
+				if len(got) != 1 || got[0].Data[0] != byte(epoch) {
+					t.Errorf("epoch %d: got %+v", epoch, got)
+				}
+			}
+		}
+	})
+}
+
+func TestWindowNoZeroSizeMessages(t *testing.T) {
+	// The one-sided path must not require idle neighbors to send anything:
+	// a rank that puts nothing contributes zero messages.
+	const n = 3
+	w := NewWorld(n)
+	stats := make([]Stats, n)
+	w.Run(func(c *Comm) {
+		win := NewWin(c)
+		if c.Rank() == 1 {
+			win.Put(0, []byte{42})
+		}
+		win.Fence()
+		stats[c.Rank()] = c.Stats
+	})
+	if stats[2].MsgsSent != 0 {
+		t.Errorf("idle rank sent %d messages", stats[2].MsgsSent)
+	}
+	if stats[1].MsgsSent != 1 {
+		t.Errorf("active rank sent %d messages", stats[1].MsgsSent)
+	}
+}
+
+func TestCart(t *testing.T) {
+	w := NewWorld(8)
+	w.Run(func(c *Comm) {
+		cart, err := NewCart(c, [3]int{2, 2, 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Coords/Rank bijection.
+		for r := 0; r < 8; r++ {
+			if cart.Rank(cart.Coords(r)) != r {
+				t.Fatalf("cart bijection broken at %d", r)
+			}
+		}
+		// Shift along x by 1 in a 2-wide dimension: src == dst (periodic).
+		src, dst := cart.Shift(0, 1)
+		if src != dst {
+			t.Errorf("shift in 2-wide dim: src %d dst %d", src, dst)
+		}
+		nbrs := cart.Neighbors()
+		if len(nbrs) != 7 { // 2x2x2: everyone else is a neighbor
+			t.Errorf("neighbors = %v", nbrs)
+		}
+	})
+}
+
+func TestCartValidation(t *testing.T) {
+	w := NewWorld(6)
+	w.Run(func(c *Comm) {
+		if _, err := NewCart(c, [3]int{2, 2, 2}); err == nil {
+			t.Errorf("mismatched dims accepted")
+		}
+		if _, err := NewCart(c, [3]int{6, 1, -1}); err == nil {
+			t.Errorf("negative dim accepted")
+		}
+	})
+}
+
+func TestWorldValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("NewWorld(0) did not panic")
+		}
+	}()
+	NewWorld(0)
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	w := NewWorld(1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("send to invalid rank did not panic")
+		}
+	}()
+	w.Run(func(c *Comm) {
+		c.Send(5, 0, nil)
+	})
+}
+
+func TestManyRanksPipeline(t *testing.T) {
+	// Ring pipeline: each rank sends to the right, receives from the left,
+	// accumulating; validates no deadlock and correct routing at scale.
+	const n = 32
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		right := (c.Rank() + 1) % n
+		left := (c.Rank() + n - 1) % n
+		val := byte(c.Rank())
+		for step := 0; step < n; step++ {
+			c.Send(right, step, []byte{val})
+			data, _ := c.Recv(left, step)
+			val = data[0]
+		}
+		if int(val) != c.Rank() { // value returns to origin after n hops
+			t.Errorf("rank %d ended with %d", c.Rank(), val)
+		}
+	})
+}
+
+func BenchmarkSendRecv(b *testing.B) {
+	w := NewWorld(2)
+	payload := bytes.Repeat([]byte{1}, 1024)
+	w.Run(func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < b.N; i++ {
+				c.Send(1, 0, payload)
+			}
+		} else {
+			for i := 0; i < b.N; i++ {
+				c.Recv(0, 0)
+			}
+		}
+	})
+}
+
+func BenchmarkBarrier(b *testing.B) {
+	w := NewWorld(8)
+	w.Run(func(c *Comm) {
+		for i := 0; i < b.N; i++ {
+			c.Barrier()
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package neighbor
+
+import (
+	"fmt"
+
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+// Snapshot is the serializable state of a Store: everything that changes
+// during a run (per-site fields and the run-away pool), excluding the
+// static geometry, which the restoring side reconstructs from its
+// configuration. All fields are exported for encoding/gob.
+type Snapshot struct {
+	ID   []int64
+	Type []units.Element
+	R    []vec.V
+	Vel  []vec.V
+	F    []vec.V
+	Rho  []float64
+	Head []int32
+	Pool []Runaway
+	Free int32
+}
+
+// Snapshot captures the store's mutable state.
+func (s *Store) Snapshot() Snapshot {
+	cp := Snapshot{
+		ID:   append([]int64(nil), s.ID...),
+		Type: append([]units.Element(nil), s.Type...),
+		R:    append([]vec.V(nil), s.R...),
+		Vel:  append([]vec.V(nil), s.Vel...),
+		F:    append([]vec.V(nil), s.F...),
+		Rho:  append([]float64(nil), s.Rho...),
+		Head: append([]int32(nil), s.Head...),
+		Pool: append([]Runaway(nil), s.pool...),
+		Free: s.free,
+	}
+	return cp
+}
+
+// Restore overwrites the store's mutable state from a snapshot taken on a
+// store with identical geometry.
+func (s *Store) Restore(snap Snapshot) error {
+	if len(snap.ID) != len(s.ID) {
+		return fmt.Errorf("neighbor: snapshot has %d sites, store has %d",
+			len(snap.ID), len(s.ID))
+	}
+	copy(s.ID, snap.ID)
+	copy(s.Type, snap.Type)
+	copy(s.R, snap.R)
+	copy(s.Vel, snap.Vel)
+	copy(s.F, snap.F)
+	copy(s.Rho, snap.Rho)
+	copy(s.Head, snap.Head)
+	s.pool = append(s.pool[:0], snap.Pool...)
+	s.free = snap.Free
+	return nil
+}

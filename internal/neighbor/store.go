@@ -1,0 +1,253 @@
+// Package neighbor implements the paper's central data structure — the
+// lattice neighbor list (§2.1.1) — together with the two mainstream
+// structures it is evaluated against: the Verlet neighbor list (LAMMPS) and
+// the linked cell (IMD, ls1-MarDyn, CoMD).
+//
+// The lattice neighbor list stores atom information in a dense array in
+// lattice-site order, so the neighbors of any site are found by adding
+// static per-basis index offsets — no per-atom neighbor storage and no
+// per-step cell rebuild. Atoms that leave their lattice site ("run-away"
+// atoms, produced by cascade collisions) are moved to a side pool and linked
+// from their nearest lattice site in singly linked lists; vacancies keep the
+// array entry with a negative ID (Figures 2 and 3 of the paper).
+package neighbor
+
+import (
+	"fmt"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/units"
+	"mdkmc/internal/vec"
+)
+
+// Special ID values. Real atoms have positive IDs.
+const (
+	// VacancyID marks an array entry whose atom has run away; the entry
+	// keeps recording the (ideal) coordinates of the vacancy.
+	VacancyID int64 = -1
+)
+
+// NoRunaway is the nil reference of the run-away pool.
+const NoRunaway int32 = -1
+
+// Runaway is an atom that broke away from its lattice site. Pool entries are
+// chained from the Head of the nearest lattice site; the chain makes
+// neighbor search between run-away atoms O(N) instead of the O(N²) of the
+// earlier flat-array design (paper §2.1.1, final paragraph).
+type Runaway struct {
+	ID   int64
+	Type units.Element
+	R    vec.V
+	Vel  vec.V
+	F    vec.V
+	Rho  float64
+	Next int32 // next pool index in the same site's chain, or NoRunaway
+}
+
+// Store is the lattice neighbor list for one subdomain (owned cells plus
+// ghost halo). All per-site arrays are indexed by Box.LocalIndex.
+type Store struct {
+	Box *lattice.Box
+	Tab *lattice.OffsetTable
+
+	// Per-site state, struct-of-arrays for cache-friendly sweeps.
+	ID   []int64
+	Type []units.Element
+	R    []vec.V
+	Vel  []vec.V
+	F    []vec.V
+	Rho  []float64
+	Head []int32 // head of the run-away chain anchored at this site
+
+	pool []Runaway
+	free int32 // free-list head within pool, chained via Next
+
+	deltas [2][]int32 // per central basis: local-index delta per offset
+}
+
+// NewStore allocates the store for box and fills every local site (owned and
+// ghost) with a perfect-lattice atom of the given species. Atom IDs are the
+// wrapped global site index plus one, so they are globally consistent across
+// ranks, including in ghost regions.
+func NewStore(box *lattice.Box, tab *lattice.OffsetTable, species units.Element) *Store {
+	if box.Ghost < tab.MaxCellReach() {
+		panic(fmt.Sprintf("neighbor: ghost width %d cells < table reach %d",
+			box.Ghost, tab.MaxCellReach()))
+	}
+	n := box.NumLocalSites()
+	s := &Store{
+		Box:  box,
+		Tab:  tab,
+		ID:   make([]int64, n),
+		Type: make([]units.Element, n),
+		R:    make([]vec.V, n),
+		Vel:  make([]vec.V, n),
+		F:    make([]vec.V, n),
+		Rho:  make([]float64, n),
+		Head: make([]int32, n),
+		free: NoRunaway,
+	}
+	l := box.L
+	for local := 0; local < n; local++ {
+		c := box.GlobalCoord(local)
+		s.ID[local] = int64(l.Index(l.Wrap(c))) + 1
+		s.Type[local] = species
+		s.R[local] = l.Position(c)
+		s.Head[local] = NoRunaway
+	}
+	s.buildDeltas()
+	return s
+}
+
+// buildDeltas precomputes, for each central basis, the local-index delta of
+// every offset in the table. This is the "indexes of the neighbor atoms for
+// each central atom can be calculated in the same way" property: a single
+// integer addition finds a neighbor.
+func (s *Store) buildDeltas() {
+	ex, ey := s.Box.Ext(0), s.Box.Ext(1)
+	for b := int8(0); b <= 1; b++ {
+		offs := s.Tab.PerBase[b]
+		d := make([]int32, len(offs))
+		for i, o := range offs {
+			d[i] = int32(((int(o.DZ)*ey+int(o.DY))*ex+int(o.DX))*2 + int(o.DB) - int(b))
+		}
+		s.deltas[b] = d
+	}
+}
+
+// Deltas returns the static neighbor index deltas for a central site of the
+// given basis; parallel to Tab.PerBase[basis].
+func (s *Store) Deltas(basis int8) []int32 { return s.deltas[basis] }
+
+// IsVacancy reports whether the site holds a vacancy.
+func (s *Store) IsVacancy(local int) bool { return s.ID[local] < 0 }
+
+// MakeVacancy converts the site into a vacancy, returning the displaced
+// atom's prior state. The entry keeps the ideal lattice position so the
+// vacancy coordinates remain recorded.
+func (s *Store) MakeVacancy(local int) Runaway {
+	prev := Runaway{
+		ID:   s.ID[local],
+		Type: s.Type[local],
+		R:    s.R[local],
+		Vel:  s.Vel[local],
+		F:    s.F[local],
+		Rho:  s.Rho[local],
+	}
+	s.ID[local] = VacancyID
+	s.Vel[local] = vec.Zero
+	s.F[local] = vec.Zero
+	s.Rho[local] = 0
+	s.R[local] = s.Box.L.Position(s.Box.GlobalCoord(local))
+	return prev
+}
+
+// FillSite places atom a onto the site (which is typically a vacancy being
+// refilled by a run-away atom, overwriting the vacancy record as described
+// for Figure 3).
+func (s *Store) FillSite(local int, a Runaway) {
+	s.ID[local] = a.ID
+	s.Type[local] = a.Type
+	s.R[local] = a.R
+	s.Vel[local] = a.Vel
+	s.F[local] = a.F
+	s.Rho[local] = a.Rho
+}
+
+// AddRunaway links atom a into the chain of the given anchor site and
+// returns its pool reference.
+func (s *Store) AddRunaway(anchor int, a Runaway) int32 {
+	var ref int32
+	if s.free != NoRunaway {
+		ref = s.free
+		s.free = s.pool[ref].Next
+		s.pool[ref] = a
+	} else {
+		ref = int32(len(s.pool))
+		s.pool = append(s.pool, a)
+	}
+	s.pool[ref].Next = s.Head[anchor]
+	s.Head[anchor] = ref
+	return ref
+}
+
+// Runaway returns a pointer to the pool entry; valid until the entry is
+// removed.
+func (s *Store) Runaway(ref int32) *Runaway { return &s.pool[ref] }
+
+// RemoveRunaway unlinks the entry ref from the chain anchored at anchor and
+// returns its value. It panics if ref is not in that chain — run-away
+// bookkeeping errors must not be silent.
+func (s *Store) RemoveRunaway(anchor int, ref int32) Runaway {
+	p := &s.Head[anchor]
+	for *p != NoRunaway {
+		if *p == ref {
+			a := s.pool[ref]
+			*p = a.Next
+			s.pool[ref].Next = s.free
+			s.pool[ref].ID = 0
+			s.free = ref
+			a.Next = NoRunaway
+			return a
+		}
+		p = &s.pool[*p].Next
+	}
+	panic(fmt.Sprintf("neighbor: run-away ref %d not anchored at site %d", ref, anchor))
+}
+
+// ClearRunaways drops every chain anchored at the site (used when rebuilding
+// ghost regions from received data).
+func (s *Store) ClearRunaways(anchor int) {
+	ref := s.Head[anchor]
+	for ref != NoRunaway {
+		next := s.pool[ref].Next
+		s.pool[ref].Next = s.free
+		s.pool[ref].ID = 0
+		s.free = ref
+		ref = next
+	}
+	s.Head[anchor] = NoRunaway
+}
+
+// EachRunaway calls fn for every run-away atom anchored at the site. fn may
+// mutate the entry through the pointer but must not add or remove entries.
+func (s *Store) EachRunaway(anchor int, fn func(ref int32, a *Runaway)) {
+	for ref := s.Head[anchor]; ref != NoRunaway; ref = s.pool[ref].Next {
+		fn(ref, &s.pool[ref])
+	}
+}
+
+// NumRunaways counts live pool entries (O(pool size); bookkeeping use only).
+func (s *Store) NumRunaways() int {
+	n := 0
+	for i := range s.pool {
+		if s.pool[i].ID > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// CountVacancies returns the number of vacancy entries among owned sites.
+func (s *Store) CountVacancies() int {
+	n := 0
+	s.Box.EachOwned(func(_ lattice.Coord, local int) {
+		if s.IsVacancy(local) {
+			n++
+		}
+	})
+	return n
+}
+
+// MemoryBytes returns the approximate heap footprint of the structure: the
+// quantity the paper's Figure 11 capacity claim is about. Per site: ID(8) +
+// Type(1) + R/Vel/F(3×24) + Rho(8) + Head(4); plus the run-away pool.
+func (s *Store) MemoryBytes() int {
+	perSite := 8 + 1 + 3*24 + 8 + 4
+	return perSite*len(s.ID) + 96*cap(s.pool) +
+		4*(len(s.deltas[0])+len(s.deltas[1]))
+}
+
+// PerSiteBytes returns the per-site memory cost of the lattice neighbor
+// list, excluding the (small) run-away pool.
+func PerSiteBytes() int { return 8 + 1 + 3*24 + 8 + 4 }

@@ -1,0 +1,75 @@
+package okmc
+
+import (
+	"testing"
+
+	"mdkmc/internal/cluster"
+	"mdkmc/internal/kmc"
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+)
+
+// TestOKMCAgreesWithAKMCQualitatively runs both engines from the same
+// initial vacancy population and asserts they agree on the physics the
+// paper's Figure 17 demonstrates: vacancies aggregate, so the cluster
+// count falls and the mean cluster size grows in both models.
+func TestOKMCAgreesWithAKMCQualitatively(t *testing.T) {
+	cells := [3]int{12, 12, 12}
+	const nVac = 50
+	seed := uint64(7)
+
+	// Shared initial sites.
+	l := lattice.New(cells[0], cells[1], cells[2], 2.855)
+	akmcCfg := kmc.DefaultConfig()
+	akmcCfg.Cells = cells
+	akmcCfg.Seed = seed
+	akmcCfg.VacancyConcentration = float64(nVac) / float64(l.NumSites())
+
+	var akmcBefore, akmcAfter cluster.Analysis
+	w := mpi.NewWorld(1)
+	w.Run(func(c *mpi.Comm) {
+		st, err := kmc.NewState(akmcCfg, c)
+		if err != nil {
+			panic(err)
+		}
+		akmcBefore = cluster.Vacancies(st.L, st.VacancySites(), 2)
+		for i := 0; i < 400; i++ {
+			st.Cycle()
+		}
+		akmcAfter = cluster.Vacancies(st.L, st.VacancySites(), 2)
+	})
+
+	okmcCfg := DefaultConfig()
+	okmcCfg.Cells = cells
+	okmcCfg.Seed = seed
+	s, err := NewRandom(okmcCfg, akmcBefore.NumVacancies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	okmcBefore := len(s.Objects)
+	for i := 0; i < 30000 && len(s.Objects) > okmcBefore/3; i++ {
+		s.Step()
+	}
+
+	// Both engines conserve vacancies.
+	if got := s.TotalVacancies(); got != akmcBefore.NumVacancies {
+		t.Errorf("OKMC vacancies %d vs shared initial %d", got, akmcBefore.NumVacancies)
+	}
+	if akmcAfter.NumVacancies != akmcBefore.NumVacancies {
+		t.Errorf("AKMC vacancies %d -> %d", akmcBefore.NumVacancies, akmcAfter.NumVacancies)
+	}
+	// Both coarsen.
+	if akmcAfter.NumClusters >= akmcBefore.NumClusters {
+		t.Errorf("AKMC did not coarsen: %d -> %d clusters",
+			akmcBefore.NumClusters, akmcAfter.NumClusters)
+	}
+	if len(s.Objects) >= okmcBefore {
+		t.Errorf("OKMC did not coarsen: %d -> %d objects", okmcBefore, len(s.Objects))
+	}
+	if akmcAfter.MeanSize <= 1.0 {
+		t.Errorf("AKMC mean cluster size %.2f did not grow", akmcAfter.MeanSize)
+	}
+	if s.MeanSize() <= 1.0 {
+		t.Errorf("OKMC mean cluster size %.2f did not grow", s.MeanSize())
+	}
+}

@@ -1,0 +1,188 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig10StrongMatchesPaperShape(t *testing.T) {
+	pts := Fig10Strong()
+	if len(pts) != 7 { // 1500..96000 CGs by doubling
+		t.Fatalf("series has %d points", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Cores != 97500 || last.Cores != 6240000 {
+		t.Errorf("core range %d..%d", first.Cores, last.Cores)
+	}
+	// Paper: 26.4x speedup, 41.3% efficiency at 64x cores.
+	if math.Abs(last.Speedup-26.4) > 2.5 {
+		t.Errorf("final speedup %.1f, paper 26.4", last.Speedup)
+	}
+	if math.Abs(last.Efficiency-0.413) > 0.04 {
+		t.Errorf("final efficiency %.3f, paper 0.413", last.Efficiency)
+	}
+	// Efficiency declines monotonically ("gradually decreases").
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Efficiency > pts[i-1].Efficiency+1e-9 {
+			t.Errorf("efficiency not declining at %d cores", pts[i].Cores)
+		}
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Errorf("speedup not increasing at %d cores", pts[i].Cores)
+		}
+	}
+}
+
+func TestFig11WeakMatchesPaperShape(t *testing.T) {
+	pts := Fig11Weak()
+	last := pts[len(pts)-1]
+	if last.Cores != 6656000 {
+		t.Errorf("final cores %d, want 6,656,000", last.Cores)
+	}
+	// Paper: 85% parallel efficiency at 6.656M cores.
+	if math.Abs(last.Efficiency-0.85) > 0.05 {
+		t.Errorf("final efficiency %.3f, paper 0.85", last.Efficiency)
+	}
+	// Compute flat, comm growing (the paper's observation).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Compute != pts[0].Compute {
+			t.Errorf("weak-scaling compute not constant")
+		}
+		if pts[i].Comm <= pts[i-1].Comm {
+			t.Errorf("weak-scaling comm not growing")
+		}
+	}
+}
+
+func TestMDMemoryCapacityContrast(t *testing.T) {
+	// Paper: lattice neighbor list runs 4e12 atoms where traditional
+	// structures manage ~8e11 — a ~5x capacity gap.
+	latticeAtoms, verletAtoms := MDMemoryCapacity(102400, 8<<30, 100, 480)
+	if latticeAtoms < 4e12*0.9 {
+		t.Errorf("lattice capacity %.3g, want ~4e12", latticeAtoms)
+	}
+	ratio := latticeAtoms / verletAtoms
+	if ratio < 3.5 || ratio > 7 {
+		t.Errorf("capacity ratio %.1f, want ~5", ratio)
+	}
+}
+
+func TestFig14StrongSuperlinearAndEndpoint(t *testing.T) {
+	pts := Fig14Strong()
+	byCores := map[int]Point{}
+	for _, p := range pts {
+		byCores[p.Cores] = p
+	}
+	last := pts[len(pts)-1]
+	if last.Cores != 48000 {
+		t.Fatalf("final cores %d", last.Cores)
+	}
+	// Paper: 18.5x speedup / 58.2% efficiency at 48,000 cores.
+	if math.Abs(last.Speedup-18.5) > 2.5 {
+		t.Errorf("final speedup %.1f, paper 18.5", last.Speedup)
+	}
+	// Paper: super-linear from 3,000 to 12,000 cores (L2 cache effect).
+	s3, ok3 := byCores[3000]
+	s12, ok12 := byCores[12000]
+	if !ok3 || !ok12 {
+		t.Fatalf("missing 3000/12000-core points")
+	}
+	segment := s12.Speedup / s3.Speedup
+	if segment <= 4.0 {
+		t.Errorf("3000->12000 speedup factor %.2f, want > 4 (super-linear)", segment)
+	}
+	if s12.Efficiency <= 1.0 {
+		t.Errorf("12000-core efficiency %.2f, want > 1 (super-linear)", s12.Efficiency)
+	}
+}
+
+func TestFig15WeakMatchesPaperShape(t *testing.T) {
+	pts := Fig15Weak()
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Cores != 1600 || last.Cores != 102400 {
+		t.Fatalf("core range %d..%d", first.Cores, last.Cores)
+	}
+	// Paper: 97.2% at the small end, 74.0% at 102,400 cores.
+	if math.Abs(first.Efficiency-0.972) > 0.02 {
+		t.Errorf("first efficiency %.3f, paper 0.972", first.Efficiency)
+	}
+	if math.Abs(last.Efficiency-0.74) > 0.03 {
+		t.Errorf("final efficiency %.3f, paper 0.740", last.Efficiency)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Efficiency >= pts[i-1].Efficiency {
+			t.Errorf("weak efficiency not declining at %d", pts[i].Cores)
+		}
+	}
+}
+
+func TestFig12VolumeRatio(t *testing.T) {
+	cores, trad, od := Fig12Volumes(1000)
+	if len(cores) == 0 {
+		t.Fatal("empty series")
+	}
+	// Paper: on-demand volume averages 2.6% of traditional.
+	sum := 0.0
+	for i := range cores {
+		if od[i] <= 0 || trad[i] <= 0 {
+			t.Fatalf("non-positive volume at %d cores", cores[i])
+		}
+		sum += od[i] / trad[i]
+	}
+	mean := sum / float64(len(cores))
+	if mean > 0.10 || mean < 0.001 {
+		t.Errorf("mean on-demand fraction %.4f, paper 0.026", mean)
+	}
+}
+
+func TestFig13TimeSpeedup(t *testing.T) {
+	cores, trad, od := Fig13Times(1000)
+	// Paper: 21x average communication-time speedup (geometric mean).
+	logSum := 0.0
+	for i := range cores {
+		logSum += math.Log(trad[i] / od[i])
+	}
+	gm := math.Exp(logSum / float64(len(cores)))
+	if gm < 8 || gm > 60 {
+		t.Errorf("comm-time speedup %.1f, paper ~21", gm)
+	}
+}
+
+func TestFig16CoupledWeak(t *testing.T) {
+	pts := Fig16CoupledWeak()
+	if len(pts) != 4 {
+		t.Fatalf("series has %d points", len(pts))
+	}
+	// Paper ladder: 98.9%, 77.4%, 75.7% relative to the 97,500-core base.
+	want := []float64{1.0, 0.989, 0.774, 0.757}
+	for i, p := range pts {
+		if math.Abs(p.Efficiency-want[i]) > 0.03 {
+			t.Errorf("point %d (cores %d): efficiency %.3f, paper %.3f",
+				i, p.Cores, p.Efficiency, want[i])
+		}
+	}
+	if pts[3].Cores != 6240000 {
+		t.Errorf("final cores %d", pts[3].Cores)
+	}
+}
+
+func TestCommGeometrySanity(t *testing.T) {
+	g := DefaultCommGeometry(1e6, 4.5e-5)
+	trad, od := g.PerCycleVolumes()
+	if trad <= 0 || od <= 0 {
+		t.Fatalf("volumes %v %v", trad, od)
+	}
+	if od >= trad {
+		t.Errorf("on-demand (%v) not smaller than traditional (%v)", od, trad)
+	}
+}
+
+func TestFormatSeries(t *testing.T) {
+	s := FormatSeries("title", Fig10Strong())
+	if !strings.Contains(s, "title") || !strings.Contains(s, "cores") {
+		t.Errorf("format output %q", s)
+	}
+	if strings.Count(s, "\n") < 8 {
+		t.Errorf("too few rows")
+	}
+}

@@ -1,0 +1,101 @@
+// Package trace writes simulation output in interchange formats: extended
+// XYZ frames (readable by OVITO/VMD, the tools used to render figures like
+// the paper's Figure 17) and CSV time series for the scaling harnesses.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/vec"
+)
+
+// Atom is one particle record of an XYZ frame.
+type Atom struct {
+	Symbol string
+	Pos    vec.V
+}
+
+// XYZWriter emits a sequence of (extended) XYZ frames.
+type XYZWriter struct {
+	w   *bufio.Writer
+	box vec.V // lattice vectors for the extended-XYZ comment line
+}
+
+// NewXYZWriter wraps w; box is the periodic box edge (Å) recorded on every
+// frame's comment line.
+func NewXYZWriter(w io.Writer, box vec.V) *XYZWriter {
+	return &XYZWriter{w: bufio.NewWriter(w), box: box}
+}
+
+// WriteFrame emits one frame with the given comment tag.
+func (x *XYZWriter) WriteFrame(tag string, atoms []Atom) error {
+	if strings.ContainsAny(tag, "\n\r") {
+		return fmt.Errorf("trace: frame tag contains newline")
+	}
+	fmt.Fprintf(x.w, "%d\n", len(atoms))
+	fmt.Fprintf(x.w, `Lattice="%g 0 0 0 %g 0 0 0 %g" Properties=species:S:1:pos:R:3 %s`+"\n",
+		x.box.X, x.box.Y, x.box.Z, tag)
+	for _, a := range atoms {
+		sym := a.Symbol
+		if sym == "" {
+			sym = "X"
+		}
+		fmt.Fprintf(x.w, "%s %.8f %.8f %.8f\n", sym, a.Pos.X, a.Pos.Y, a.Pos.Z)
+	}
+	return x.w.Flush()
+}
+
+// VacancyFrame converts wrapped vacancy coordinates into an XYZ frame using
+// the pseudo-species "V" (the convention defect viewers understand).
+func VacancyFrame(l *lattice.Lattice, sites []lattice.Coord) []Atom {
+	atoms := make([]Atom, len(sites))
+	for i, c := range sites {
+		atoms[i] = Atom{Symbol: "V", Pos: l.Position(c)}
+	}
+	return atoms
+}
+
+// CSVWriter emits a simple header + rows table (no quoting needs arise for
+// numeric series).
+type CSVWriter struct {
+	w       *bufio.Writer
+	columns int
+}
+
+// NewCSVWriter writes the header immediately.
+func NewCSVWriter(w io.Writer, header ...string) (*CSVWriter, error) {
+	if len(header) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV header")
+	}
+	c := &CSVWriter{w: bufio.NewWriter(w), columns: len(header)}
+	for i, h := range header {
+		if strings.ContainsAny(h, ",\n") {
+			return nil, fmt.Errorf("trace: header %q needs quoting", h)
+		}
+		if i > 0 {
+			c.w.WriteByte(',')
+		}
+		c.w.WriteString(h)
+	}
+	c.w.WriteByte('\n')
+	return c, c.w.Flush()
+}
+
+// Row appends one row; the value count must match the header.
+func (c *CSVWriter) Row(values ...float64) error {
+	if len(values) != c.columns {
+		return fmt.Errorf("trace: row has %d values, header has %d", len(values), c.columns)
+	}
+	for i, v := range values {
+		if i > 0 {
+			c.w.WriteByte(',')
+		}
+		fmt.Fprintf(c.w, "%g", v)
+	}
+	c.w.WriteByte('\n')
+	return c.w.Flush()
+}

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/vec"
+)
+
+func TestXYZFrameFormat(t *testing.T) {
+	var sb strings.Builder
+	x := NewXYZWriter(&sb, vec.V{X: 10, Y: 20, Z: 30})
+	err := x.WriteFrame("step=5", []Atom{
+		{Symbol: "Fe", Pos: vec.V{X: 1, Y: 2, Z: 3}},
+		{Pos: vec.V{X: 4, Y: 5, Z: 6}}, // empty symbol defaults to X
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(sb.String(), "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("frame has %d lines:\n%s", len(lines), sb.String())
+	}
+	if lines[0] != "2" {
+		t.Errorf("count line %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `Lattice="10 0 0 0 20 0 0 0 30"`) ||
+		!strings.Contains(lines[1], "step=5") {
+		t.Errorf("comment line %q", lines[1])
+	}
+	if !strings.HasPrefix(lines[2], "Fe 1.0") {
+		t.Errorf("atom line %q", lines[2])
+	}
+	if !strings.HasPrefix(lines[3], "X 4.0") {
+		t.Errorf("default-symbol line %q", lines[3])
+	}
+}
+
+func TestXYZRejectsNewlineTag(t *testing.T) {
+	var sb strings.Builder
+	x := NewXYZWriter(&sb, vec.V{X: 1, Y: 1, Z: 1})
+	if err := x.WriteFrame("bad\ntag", nil); err == nil {
+		t.Errorf("newline tag accepted")
+	}
+}
+
+func TestMultipleFrames(t *testing.T) {
+	var sb strings.Builder
+	x := NewXYZWriter(&sb, vec.V{X: 5, Y: 5, Z: 5})
+	for i := 0; i < 3; i++ {
+		if err := x.WriteFrame("f", []Atom{{Symbol: "V"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := strings.Count(sb.String(), "\n"); got != 9 {
+		t.Errorf("3 frames produced %d lines", got)
+	}
+}
+
+func TestVacancyFrame(t *testing.T) {
+	l := lattice.New(4, 4, 4, 2.855)
+	sites := []lattice.Coord{{X: 1, Y: 2, Z: 3, B: 1}}
+	atoms := VacancyFrame(l, sites)
+	if len(atoms) != 1 || atoms[0].Symbol != "V" {
+		t.Fatalf("frame %+v", atoms)
+	}
+	want := l.Position(sites[0])
+	if atoms[0].Pos != want {
+		t.Errorf("position %v, want %v", atoms[0].Pos, want)
+	}
+}
+
+func TestCSVWriter(t *testing.T) {
+	var sb strings.Builder
+	c, err := NewCSVWriter(&sb, "step", "energy", "temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(1, -3.5, 600); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Row(1, 2); err == nil {
+		t.Errorf("short row accepted")
+	}
+	want := "step,energy,temp\n1,-3.5,600\n"
+	if sb.String() != want {
+		t.Errorf("csv output %q, want %q", sb.String(), want)
+	}
+}
+
+func TestCSVValidation(t *testing.T) {
+	var sb strings.Builder
+	if _, err := NewCSVWriter(&sb); err == nil {
+		t.Errorf("empty header accepted")
+	}
+	if _, err := NewCSVWriter(&sb, "a,b"); err == nil {
+		t.Errorf("comma header accepted")
+	}
+}
