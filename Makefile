@@ -1,0 +1,29 @@
+# Development gates. `make check` is the tier-1 verification plus vet and
+# the race detector — the mpi rank-panic wakeup paths and the KMC
+# incremental bookkeeping are concurrency-sensitive and must stay clean
+# under -race.
+
+GO ?= go
+
+.PHONY: check build test vet race bench-kmc figures
+
+check: vet build race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# The incremental-vs-rescan KMC cycle contrast (EXPERIMENTS.md).
+bench-kmc:
+	$(GO) test -run '^$$' -bench 'BenchmarkKMCCycle' -benchtime 20x .
+
+figures:
+	$(GO) run ./cmd/figures

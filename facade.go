@@ -1,7 +1,9 @@
 package mdkmc
 
 import (
+	"fmt"
 	"math"
+	"sync"
 
 	"mdkmc/internal/cluster"
 	"mdkmc/internal/couple"
@@ -63,6 +65,50 @@ type MDResult struct {
 	Clusters     ClusterAnalysis
 }
 
+// errCapture records the first error reported by any rank, so the facade
+// can honor its (*Result, error) contract regardless of which rank failed.
+type errCapture struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (e *errCapture) set(err error) {
+	e.mu.Lock()
+	if e.err == nil {
+		e.err = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *errCapture) get() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// runRanks executes fn across the world's ranks and converts rank failures
+// into an ordinary error: a rank that cannot construct its state records the
+// error in ec and panics, which aborts the world (waking every peer blocked
+// in a receive or collective); the re-raised panic is recovered here and the
+// first recorded error — from whichever rank — is returned.
+func runRanks(w *mpi.World, ec *errCapture, fn func(c *mpi.Comm)) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			if e := ec.get(); e != nil {
+				err = e
+				return
+			}
+			if e, ok := p.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("mdkmc: rank panic: %v", p)
+		}
+	}()
+	w.Run(fn)
+	return ec.get()
+}
+
 // RunMD builds the in-process world for cfg.Grid, advances cfg.Steps MD
 // steps on every rank, and returns the merged result.
 func RunMD(cfg MDConfig) (*MDResult, error) {
@@ -70,14 +116,12 @@ func RunMD(cfg MDConfig) (*MDResult, error) {
 		return nil, err
 	}
 	res := &MDResult{Atoms: cfg.NumAtoms(), Steps: cfg.Steps}
-	var runErr error
+	var ec errCapture
 	w := mpi.NewWorld(cfg.Ranks())
-	w.Run(func(c *mpi.Comm) {
+	runErr := runRanks(w, &ec, func(c *mpi.Comm) {
 		r, err := md.NewRank(cfg, c)
 		if err != nil {
-			if c.Rank() == 0 {
-				runErr = err
-			}
+			ec.set(err)
 			panic(err)
 		}
 		for i := 0; i < cfg.Steps; i++ {
@@ -97,7 +141,10 @@ func RunMD(cfg MDConfig) (*MDResult, error) {
 			res.Clusters = cluster.Vacancies(r.L, sites, 2)
 		}
 	})
-	return res, runErr
+	if runErr != nil {
+		return nil, runErr
+	}
+	return res, nil
 }
 
 // KMCResult summarizes a KMC run.
@@ -123,10 +170,12 @@ func RunKMC(cfg KMCConfig, cycles int, tThreshold float64) (*KMCResult, error) {
 		tThreshold = math.Inf(1)
 	}
 	res := &KMCResult{Sites: cfg.NumSites()}
+	var ec errCapture
 	w := mpi.NewWorld(cfg.Ranks())
-	w.Run(func(c *mpi.Comm) {
+	runErr := runRanks(w, &ec, func(c *mpi.Comm) {
 		st, err := kmc.NewState(cfg, c)
 		if err != nil {
+			ec.set(err)
 			panic(err)
 		}
 		events := st.Run(tThreshold, cycles)
@@ -146,6 +195,9 @@ func RunKMC(cfg KMCConfig, cycles int, tThreshold float64) (*KMCResult, error) {
 			res.Clusters = cluster.Vacancies(st.L, sites, 2)
 		}
 	})
+	if runErr != nil {
+		return nil, runErr
+	}
 	return res, nil
 }
 

@@ -39,6 +39,46 @@ func TestRunMDRejectsInvalid(t *testing.T) {
 	}
 }
 
+func TestRunMDRankConstructionError(t *testing.T) {
+	// Validates (all fields positive) but rank construction fails: the
+	// process grid exceeds the cell counts, which only NewRank detects. The
+	// documented contract is an error return, not a panic, and no deadlock
+	// even though every rank dies inside world startup.
+	cfg := mdkmc.DefaultMDConfig()
+	cfg.Cells = [3]int{2, 2, 2}
+	cfg.Grid = [3]int{4, 1, 1}
+	res, err := mdkmc.RunMD(cfg)
+	if err == nil {
+		t.Fatal("grid exceeding cells accepted")
+	}
+	if res != nil {
+		t.Errorf("non-nil result alongside error: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "exceeds cells") {
+		t.Errorf("error %q does not carry the rank-construction cause", err)
+	}
+}
+
+func TestRunKMCRankConstructionError(t *testing.T) {
+	// Validates, but the 6-way split leaves subdomains thinner than the
+	// ghost halo; kmc.NewState rejects that on every rank. RunKMC must
+	// return the error instead of letting the rank panic escape.
+	cfg := mdkmc.DefaultKMCConfig()
+	cfg.Cells = [3]int{12, 12, 12}
+	cfg.Grid = [3]int{6, 1, 1}
+	cfg.VacancyConcentration = 0.001
+	res, err := mdkmc.RunKMC(cfg, 5, 0)
+	if err == nil {
+		t.Fatal("subdomain thinner than ghost accepted")
+	}
+	if res != nil {
+		t.Errorf("non-nil result alongside error: %+v", res)
+	}
+	if !strings.Contains(err.Error(), "thinner than ghost") {
+		t.Errorf("error %q does not carry the rank-construction cause", err)
+	}
+}
+
 func TestRunKMCQuick(t *testing.T) {
 	cfg := mdkmc.DefaultKMCConfig()
 	cfg.Cells = [3]int{12, 12, 12}

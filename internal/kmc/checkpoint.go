@@ -4,8 +4,6 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-
-	"mdkmc/internal/lattice"
 )
 
 // checkpoint is the serialized per-rank KMC state. Geometry and plans are
@@ -60,12 +58,8 @@ func (st *State) Restore(rd io.Reader) error {
 	copy(st.Rho, cp.Rho)
 	st.Time = cp.Time
 	st.Cycles = cp.Cycles
-	// Rebuild the owned-vacancy index from the restored occupancy.
-	st.ownedVac = make(map[int]bool)
-	st.Box.EachOwned(func(_ lattice.Coord, local int) {
-		if st.Occ[local] == Vacant {
-			st.ownedVac[local] = true
-		}
-	})
+	// Rebuild the owned-vacancy index and the event-rate cache from the
+	// restored occupancy.
+	st.rebuildVacancyIndex()
 	return nil
 }

@@ -74,6 +74,13 @@ type Config struct {
 	Seed     uint64
 	Protocol Protocol
 
+	// FullRescan disables the incremental event-rate cache and re-enumerates
+	// every candidate hop from scratch at each selection — the slow
+	// reference mode the equivalence tests and benchmarks compare against.
+	// The environment variable MDKMC_KMC_FULL_RESCAN=1 forces it on without
+	// a config change. Trajectories are bit-identical either way.
+	FullRescan bool
+
 	// DtFactor scales the synchronous cycle window dt = DtFactor / R_max;
 	// ~1 event per subdomain per cycle at the default of 1.
 	DtFactor float64

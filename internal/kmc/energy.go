@@ -180,6 +180,16 @@ func (e *energetics) swapDeltaE(st *State, s, n int, cs, cn lattice.Coord) float
 	return dPair + dEmbed
 }
 
+// dependencyReach returns the Chebyshev cell radius within which an
+// occupancy change can alter the outcome of swapDeltaE for a vacancy — the
+// exact invalidation radius of the incremental event-rate cache. The hop
+// target sits one cell from the vacancy; the phi pair shells and the
+// embedding bystanders extend another `reach` cells (occupancy read
+// directly, radius reach+1); and each bystander's ρ sums occupancy a
+// further `reach` cells out (radius 2*reach+1, the ghost width). The
+// maximum, 2*reach+1, is therefore both necessary and sufficient.
+func (e *energetics) dependencyReach(reach int) int { return 2*reach + 1 }
+
 // hopRate returns the transition rate of a hop with energy difference dE,
 // using the kinetically-resolved activation barrier ΔE* = Em + dE/2,
 // floored at a small positive value so rates stay finite and positive.

@@ -15,7 +15,10 @@ type event struct {
 
 // sectorEvents enumerates, in deterministic order, every possible event
 // whose vacancy lies in sector sec, and returns the events plus their total
-// rate — steps #3/#4 of the paper's Figure 7 flowchart.
+// rate — steps #3/#4 of the paper's Figure 7 flowchart. It is the reference
+// full-rescan enumeration: the hot path reads the incremental cache
+// (events.go) instead, and the property tests assert the two agree
+// bit-exactly after arbitrary ghost updates.
 func (st *State) sectorEvents(sec int) ([]event, float64) {
 	var evs []event
 	var total float64
@@ -42,25 +45,28 @@ func (st *State) sectorEvents(sec int) ([]event, float64) {
 }
 
 // TotalRate returns the total transition rate of the whole subdomain (all
-// sectors) — the quantity the synchronous time window is derived from.
+// sectors) — the quantity the synchronous time window is derived from. It
+// reads the incremental rate cache, so its cost is O(owned vacancies)
+// rather than a full re-enumeration of all eight sectors.
 func (st *State) TotalRate() float64 {
 	var total float64
 	for sec := 0; sec < 8; sec++ {
-		_, r := st.sectorEvents(sec)
-		total += r
+		total += st.sectorRate(sec)
 	}
 	return total
 }
 
 // runSector performs KMC within sector sec for the time window dt (step #5),
 // using a stream derived from (seed, rank, cycle, sector) so trajectories
-// are independent of the communication protocol and the schedule.
+// are independent of the communication protocol and the schedule. Rates come
+// from the incremental cache; only entries invalidated by the previous
+// event's neighborhood (or an incoming ghost update) are recomputed.
 func (st *State) runSector(sec int, dt float64) int {
 	src := st.rng.Derive(uint64(st.Comm.Rank()), uint64(st.Cycles), uint64(sec))
 	events := 0
 	tloc := 0.0
 	for {
-		evs, total := st.sectorEvents(sec)
+		total := st.sectorRate(sec)
 		if total <= 0 {
 			break
 		}
@@ -70,20 +76,12 @@ func (st *State) runSector(sec int, dt float64) int {
 		}
 		// Select the event proportionally to its rate.
 		u := src.Float64() * total
-		acc := 0.0
-		chosen := evs[len(evs)-1]
-		for _, ev := range evs {
-			acc += ev.rate
-			if u < acc {
-				chosen = ev
-				break
-			}
-		}
+		site, target := st.pickEvent(sec, u)
 		// Apply the swap: the moving atom (of whatever species) fills the
 		// vacancy, which moves to the target site.
-		moving := st.Occ[chosen.target]
-		st.setOcc(chosen.site, moving, true)
-		st.setOcc(chosen.target, Vacant, true)
+		moving := st.Occ[target]
+		st.setOcc(site, moving, true)
+		st.setOcc(target, Vacant, true)
 		events++
 	}
 	return events

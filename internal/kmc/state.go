@@ -2,6 +2,7 @@ package kmc
 
 import (
 	"fmt"
+	"os"
 	"sort"
 
 	"mdkmc/internal/eam"
@@ -36,6 +37,14 @@ type State struct {
 	reach  int        // interaction reach in cells
 
 	ownedVac map[int]bool // owned local sites currently vacant
+
+	// Incremental event-rate bookkeeping (events.go): per-vacancy cached
+	// candidate hop rates, per-sector selection lists, and the exact
+	// occupancy-dependency radius that drives invalidation.
+	rateCache   map[int]*vacCache
+	secVacs     [8][]int
+	dependReach int  // cells: occupancy changes within it stale a cached rate
+	fullRescan  bool // debug mode: recompute every rate at every selection
 
 	// Ghost plans. The traditional protocol uses per-sector plans: before a
 	// sector it refreshes the sector's read halo (getRecv/getSend), after it
@@ -88,20 +97,23 @@ func NewState(cfg Config, comm *mpi.Comm) (*State, error) {
 		}
 	}
 	st := &State{
-		Cfg:      cfg,
-		Comm:     comm,
-		L:        l,
-		Grid:     grid,
-		Box:      box,
-		Tab:      tab,
-		Pot:      pot,
-		kBT:      units.Boltzmann * cfg.Temperature,
-		reach:    reach,
-		ownedVac: make(map[int]bool),
-		dirty:    make(map[int]bool),
-		rng:      rng.New(cfg.Seed),
+		Cfg:        cfg,
+		Comm:       comm,
+		L:          l,
+		Grid:       grid,
+		Box:        box,
+		Tab:        tab,
+		Pot:        pot,
+		kBT:        units.Boltzmann * cfg.Temperature,
+		reach:      reach,
+		ownedVac:   make(map[int]bool),
+		rateCache:  make(map[int]*vacCache),
+		dirty:      make(map[int]bool),
+		rng:        rng.New(cfg.Seed),
+		fullRescan: cfg.FullRescan || os.Getenv("MDKMC_KMC_FULL_RESCAN") == "1",
 	}
 	st.en = energetics{pot: pot, shells: newShellTables(pot, tab)}
+	st.dependReach = st.en.dependencyReach(reach)
 	st.buildDeltas()
 	st.buildPlans()
 	st.initOccupancy()
@@ -375,9 +387,9 @@ func (st *State) placeSite(g int, occ uint8) {
 	}
 	if st.Box.Owns(st.Box.GlobalCoord(base)) {
 		if occ == Vacant {
-			st.ownedVac[base+int(c.B)] = true
+			st.vacAdd(base + int(c.B))
 		} else {
-			delete(st.ownedVac, base+int(c.B))
+			st.vacRemove(base + int(c.B))
 		}
 	}
 }
@@ -441,8 +453,10 @@ func (st *State) interiorOf(local, margin int) bool {
 		lz >= margin && lz < ez-margin
 }
 
-// setOcc writes occupancy to every local image of the site and maintains ρ
-// incrementally. markDirty records the change for the on-demand flush.
+// setOcc writes occupancy to every local image of the site, maintains ρ
+// incrementally, and invalidates the cached hop rates of every vacancy
+// whose footprint can see the change. markDirty records the change for the
+// on-demand flush.
 func (st *State) setOcc(local int, occ uint8, markDirty bool) {
 	if st.Occ[local] == occ {
 		return
@@ -456,6 +470,7 @@ func (st *State) setOcc(local int, occ uint8, markDirty bool) {
 			continue
 		}
 		st.Occ[img] = occ
+		c := st.Box.GlobalCoord(img)
 		if st.interiorOf(img, st.reach) {
 			// Fast path: flat deltas cannot wrap.
 			for k, d := range st.deltas[basis] {
@@ -463,7 +478,6 @@ func (st *State) setOcc(local int, occ uint8, markDirty bool) {
 			}
 		} else {
 			// Edge of the halo: walk by coordinates and bounds-check.
-			c := st.Box.GlobalCoord(img)
 			for k, o := range st.Tab.PerBase[basis] {
 				n := o.Apply(c)
 				if st.Box.InLocal(n) {
@@ -471,13 +485,14 @@ func (st *State) setOcc(local int, occ uint8, markDirty bool) {
 				}
 			}
 		}
-		if st.Box.Owns(st.Box.GlobalCoord(img)) {
+		if st.Box.Owns(c) {
 			if occ == Vacant {
-				st.ownedVac[img] = true
+				st.vacAdd(img)
 			} else {
-				delete(st.ownedVac, img)
+				st.vacRemove(img)
 			}
 		}
+		st.invalidateNear(c)
 	}
 	if markDirty {
 		st.dirty[st.canonical(local)] = true

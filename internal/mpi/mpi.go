@@ -21,6 +21,7 @@ package mpi
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 )
 
 // AnySource matches messages from any rank in Recv and Probe.
@@ -86,6 +87,50 @@ type World struct {
 
 	winPending *winShared
 	winCreated int
+
+	// aborted is set when any rank panics; every blocking primitive checks
+	// it in its wait loop so survivors unwind instead of waiting forever on
+	// a rank that no longer exists.
+	aborted atomic.Bool
+}
+
+// errAborted is the panic value used to unwind ranks blocked in Recv, Probe,
+// or a collective when a peer rank panicked. Run's per-rank recover swallows
+// it: only the original panic is re-raised on the caller.
+var errAborted = fmt.Errorf("mpi: world aborted by a peer rank panic")
+
+// RankPanic is the value World.Run re-raises on the caller when a rank
+// panicked. It implements error and carries the originating rank and panic
+// value, so callers can unwrap the underlying error with errors.As/Unwrap.
+type RankPanic struct {
+	Rank  int
+	Value interface{}
+}
+
+func (p RankPanic) Error() string { return fmt.Sprintf("rank %d: %v", p.Rank, p.Value) }
+
+// Unwrap returns the underlying error when the rank panicked with one.
+func (p RankPanic) Unwrap() error {
+	if e, ok := p.Value.(error); ok {
+		return e
+	}
+	return nil
+}
+
+// abort marks the world dead and wakes every rank blocked in a mailbox wait
+// (Recv/Probe) or a collective (Barrier/Allreduce/Allgather/Fence). The flag
+// is set before the broadcasts and every wait loop rechecks it under its
+// lock, so no wakeup can be missed.
+func (w *World) abort() {
+	w.aborted.Store(true)
+	for _, b := range w.boxes {
+		b.mu.Lock()
+		b.cond.Broadcast()
+		b.mu.Unlock()
+	}
+	w.collMu.Lock()
+	w.collCond.Broadcast()
+	w.collMu.Unlock()
 }
 
 // NewWorld creates a world with n ranks.
@@ -105,24 +150,23 @@ func NewWorld(n int) *World {
 func (w *World) Size() int { return w.n }
 
 // Run executes fn on every rank concurrently and waits for all to return.
-// A panic on any rank is re-raised on the caller after all surviving ranks
-// finish or deadlock is avoided by the panicking rank's absence being fatal;
-// tests rely on panics propagating.
+// A panic on any rank aborts the world: survivors blocked in Recv, Probe, or
+// any collective are woken and unwound, and the original panic is re-raised
+// on the caller as a RankPanic once every rank has finished.
 func (w *World) Run(fn func(c *Comm)) {
 	var wg sync.WaitGroup
-	panics := make(chan interface{}, w.n)
+	panics := make(chan RankPanic, w.n)
 	for r := 0; r < w.n; r++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
 				if p := recover(); p != nil {
-					panics <- fmt.Sprintf("rank %d: %v", rank, p)
-					// Wake everyone so blocked ranks can notice shutdown in
-					// tests that expect the panic to surface.
-					for _, b := range w.boxes {
-						b.cond.Broadcast()
+					if p == errAborted {
+						return // secondary victim of another rank's panic
 					}
+					panics <- RankPanic{Rank: rank, Value: p}
+					w.abort()
 				}
 			}()
 			fn(&Comm{world: w, rank: rank})
@@ -192,6 +236,9 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 			c.Stats.BytesRecv += int64(len(m.data))
 			return m.data, Status{Source: m.src, Tag: m.tag, Size: len(m.data)}
 		}
+		if c.world.aborted.Load() {
+			panic(errAborted)
+		}
 		box.cond.Wait()
 	}
 }
@@ -207,6 +254,9 @@ func (c *Comm) Probe(src, tag int) Status {
 		if i := match(box.pending, src, tag); i >= 0 {
 			m := box.pending[i]
 			return Status{Source: m.src, Tag: m.tag, Size: len(m.data)}
+		}
+		if c.world.aborted.Load() {
+			panic(errAborted)
 		}
 		box.cond.Wait()
 	}
@@ -228,6 +278,10 @@ func (c *Comm) Iprobe(src, tag int) (Status, bool) {
 func (c *Comm) Barrier() {
 	w := c.world
 	w.collMu.Lock()
+	// Unlock via defer so that ANY panic raised while the lock is held —
+	// the abort unwind, a mismatch check, or a runtime panic from misuse —
+	// releases collMu before the rank's deferred abort() tries to take it.
+	defer w.collMu.Unlock()
 	gen := w.collGen
 	w.collCnt++
 	if w.collCnt == w.n {
@@ -236,10 +290,12 @@ func (c *Comm) Barrier() {
 		w.collCond.Broadcast()
 	} else {
 		for w.collGen == gen {
+			if w.aborted.Load() {
+				panic(errAborted)
+			}
 			w.collCond.Wait()
 		}
 	}
-	w.collMu.Unlock()
 }
 
 // Op is a reduction operator for Allreduce.
@@ -274,12 +330,12 @@ func (o Op) apply(a, b float64) float64 {
 func (c *Comm) Allreduce(op Op, vals ...float64) []float64 {
 	w := c.world
 	w.collMu.Lock()
+	defer w.collMu.Unlock() // released on any panic; see Barrier
 	gen := w.collGen
 	if w.collCnt == 0 {
 		w.collAcc = append(w.collAcc[:0], vals...)
 	} else {
 		if len(vals) != len(w.collAcc) {
-			w.collMu.Unlock()
 			panic("mpi: allreduce length mismatch across ranks")
 		}
 		for i, v := range vals {
@@ -294,12 +350,14 @@ func (c *Comm) Allreduce(op Op, vals ...float64) []float64 {
 		w.collCond.Broadcast()
 	} else {
 		for w.collGen == gen {
+			if w.aborted.Load() {
+				panic(errAborted)
+			}
 			w.collCond.Wait()
 		}
 	}
 	out := make([]float64, len(w.collOut))
 	copy(out, w.collOut)
-	w.collMu.Unlock()
 	// Model the collective as one message per rank for accounting purposes.
 	c.Stats.MsgsSent++
 	c.Stats.BytesSent += int64(8 * len(vals))
@@ -311,6 +369,7 @@ func (c *Comm) Allreduce(op Op, vals ...float64) []float64 {
 func (c *Comm) Allgather(data []byte) [][]byte {
 	w := c.world
 	w.collMu.Lock()
+	defer w.collMu.Unlock() // released on any panic; see Barrier
 	gen := w.collGen
 	if w.collCnt == 0 {
 		w.gatherIn = make([][]byte, w.n)
@@ -325,11 +384,13 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 		w.collCond.Broadcast()
 	} else {
 		for w.collGen == gen {
+			if w.aborted.Load() {
+				panic(errAborted)
+			}
 			w.collCond.Wait()
 		}
 	}
 	out := w.gatherIn
-	w.collMu.Unlock()
 	c.Stats.MsgsSent += int64(w.n - 1)
 	c.Stats.BytesSent += int64(len(data) * (w.n - 1))
 	return out

@@ -2,9 +2,12 @@ package mpi
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestSendRecvBasic(t *testing.T) {
@@ -381,6 +384,122 @@ func TestManyRanksPipeline(t *testing.T) {
 			t.Errorf("rank %d ended with %d", c.Rank(), val)
 		}
 	})
+}
+
+// runWithTimeout runs w.Run(fn) in a goroutine and returns the recovered
+// panic value (nil if Run returned normally), failing the test if Run does
+// not finish within the deadline — the rank-panic deadlock regression.
+func runWithTimeout(t *testing.T, w *World, fn func(c *Comm)) interface{} {
+	t.Helper()
+	done := make(chan interface{}, 1)
+	go func() {
+		defer func() { done <- recover() }()
+		w.Run(fn)
+	}()
+	select {
+	case p := <-done:
+		return p
+	case <-time.After(30 * time.Second):
+		t.Fatal("World.Run did not return after a rank panic (deadlock)")
+		return nil
+	}
+}
+
+func TestRankPanicWakesBlockedRecv(t *testing.T) {
+	w := NewWorld(3)
+	p := runWithTimeout(t, w, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			panic("boom")
+		case 1:
+			c.Recv(AnySource, 42) // nothing is ever sent with this tag
+		default:
+			c.Probe(AnySource, 42)
+		}
+	})
+	if p == nil {
+		t.Fatal("Run returned without re-raising the rank panic")
+	}
+	if !strings.Contains(fmt.Sprint(p), "boom") {
+		t.Errorf("re-raised panic %v does not carry the original value", p)
+	}
+}
+
+func TestRankPanicWakesBlockedCollectives(t *testing.T) {
+	// One subtest per collective. All surviving peers sit in the SAME
+	// collective (mixing different collectives in one round is invalid MPI
+	// usage), except one rank parked in Recv to cover the spec's "peers in
+	// Recv and in Allreduce" scenario in a single world.
+	collectives := map[string]func(c *Comm){
+		"allreduce": func(c *Comm) { c.Allreduce(Sum, 1, 2) },
+		"barrier":   func(c *Comm) { c.Barrier() },
+		"allgather": func(c *Comm) { c.Allgather([]byte{byte(c.Rank())}) },
+	}
+	for name, coll := range collectives {
+		coll := coll
+		t.Run(name, func(t *testing.T) {
+			w := NewWorld(4)
+			p := runWithTimeout(t, w, func(c *Comm) {
+				switch c.Rank() {
+				case 0:
+					panic("collective-boom")
+				case 1:
+					c.Recv(AnySource, 42) // nothing is ever sent with this tag
+				default:
+					coll(c)
+				}
+			})
+			if p == nil {
+				t.Fatal("Run returned without re-raising the rank panic")
+			}
+			rp, ok := p.(RankPanic)
+			if !ok {
+				t.Fatalf("re-raised value %T, want RankPanic", p)
+			}
+			if rp.Rank != 0 || fmt.Sprint(rp.Value) != "collective-boom" {
+				t.Errorf("RankPanic %+v, want rank 0 / collective-boom", rp)
+			}
+		})
+	}
+}
+
+// TestCollectivePanicReleasesLock pins the regression where a panic raised
+// inside a collective while holding the shared lock (here: an allreduce
+// length mismatch) left the lock held forever, so the panicking rank's own
+// abort — and every woken peer — deadlocked on it.
+func TestCollectivePanicReleasesLock(t *testing.T) {
+	w := NewWorld(3)
+	p := runWithTimeout(t, w, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Allreduce(Sum, 1, 2, 3)
+			return
+		}
+		c.Allreduce(Sum, 1) // length mismatch: panics under the lock
+	})
+	if p == nil {
+		t.Fatal("Run returned without re-raising the mismatch panic")
+	}
+	if !strings.Contains(fmt.Sprint(p), "length mismatch") {
+		t.Errorf("re-raised panic %v, want the allreduce mismatch", p)
+	}
+}
+
+func TestRankPanicUnwrapsError(t *testing.T) {
+	w := NewWorld(2)
+	sentinel := errors.New("construction failed")
+	p := runWithTimeout(t, w, func(c *Comm) {
+		if c.Rank() == 0 {
+			panic(sentinel)
+		}
+		c.Barrier()
+	})
+	rp, ok := p.(RankPanic)
+	if !ok {
+		t.Fatalf("re-raised value %T, want RankPanic", p)
+	}
+	if !errors.Is(rp, sentinel) {
+		t.Errorf("RankPanic does not unwrap to the original error: %v", rp)
+	}
 }
 
 func BenchmarkSendRecv(b *testing.B) {
