@@ -1,11 +1,11 @@
 # Development gates. `make check` is the tier-1 verification plus vet and
-# the race detector — the mpi rank-panic wakeup paths and the KMC
-# incremental bookkeeping are concurrency-sensitive and must stay clean
-# under -race.
+# the race detector — the md force pool and ghost-exchange paths, the mpi
+# rank-panic wakeup paths, and the KMC incremental bookkeeping are
+# concurrency-sensitive and must stay clean under -race.
 
 GO ?= go
 
-.PHONY: check build test vet race bench-kmc figures
+.PHONY: check build test vet race bench-kmc bench-md fuzz-setfl figures
 
 check: vet build race
 
@@ -18,12 +18,25 @@ vet:
 test:
 	$(GO) test ./...
 
+# The hot concurrent packages run first with -count=1 so the race detector
+# always re-executes them (a cached "ok" proves nothing); the full suite
+# then runs under -race as well.
 race:
+	$(GO) test -race -count=1 ./internal/md ./internal/mpi
 	$(GO) test -race ./...
 
 # The incremental-vs-rescan KMC cycle contrast (EXPERIMENTS.md).
 bench-kmc:
 	$(GO) test -run '^$$' -bench 'BenchmarkKMCCycle' -benchtime 20x .
+
+# The serial-vs-pooled MD step contrast on a 20^3 box (EXPERIMENTS.md).
+bench-md:
+	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x ./internal/md
+
+# Short fuzz pass over the setfl potential parser (seeds always run in
+# plain `go test`; this explores further).
+fuzz-setfl:
+	$(GO) test -run '^$$' -fuzz 'FuzzReadSetfl' -fuzztime 30s ./internal/eam
 
 figures:
 	$(GO) run ./cmd/figures

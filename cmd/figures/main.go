@@ -82,7 +82,7 @@ func fig9(quick bool) {
 			if err != nil {
 				panic(err)
 			}
-			rank.Kernel = md.NewCPEKernel(rank.FF, v)
+			rank.AttachCPEKernel(v)
 			rank.Step() // one full step through the CPE kernel
 			perAtom[vi] = rank.Kernel.StepTime / float64(cfg.NumAtoms())
 		})

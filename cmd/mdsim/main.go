@@ -26,8 +26,9 @@ func main() {
 		dt    = flag.Float64("dt", 0.001, "time step in ps (paper: 0.001 = 1 fs)")
 		temp  = flag.Float64("temp", 600, "initial temperature in K")
 		pka   = flag.Float64("pka", 0, "primary knock-on atom energy in eV (0 = no cascade)")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		mode  = flag.String("tables", "compacted", "potential evaluation: analytic|compacted|traditional")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		mode    = flag.String("tables", "compacted", "potential evaluation: analytic|compacted|traditional")
+		workers = flag.Int("workers", 0, "force-pass worker goroutines per rank (0 = GOMAXPROCS, 1 = serial reference)")
 	)
 	flag.Parse()
 
@@ -38,6 +39,7 @@ func main() {
 	cfg.Dt = *dt
 	cfg.Temperature = *temp
 	cfg.Seed = *seed
+	cfg.Workers = *workers
 	switch *mode {
 	case "analytic":
 		cfg.Mode = eam.Analytic

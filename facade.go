@@ -17,7 +17,10 @@ import (
 // Re-exported configuration and option types. The aliases keep the public
 // API in one import while the implementations live in internal packages.
 type (
-	// MDConfig configures a Molecular Dynamics run (see md.Config).
+	// MDConfig configures a Molecular Dynamics run (see md.Config). The
+	// Workers field selects the per-rank force-pass parallelism (0 =
+	// GOMAXPROCS, 1 = serial reference); every setting produces
+	// bit-identical results, so it is purely a speed knob.
 	MDConfig = md.Config
 	// PKA configures the primary knock-on atom of a cascade.
 	PKA = md.PKA

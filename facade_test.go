@@ -31,6 +31,36 @@ func TestRunMDQuick(t *testing.T) {
 	}
 }
 
+func TestRunMDWorkersBitIdentical(t *testing.T) {
+	// The public Workers knob is a pure speed knob: the full facade run —
+	// energies, temperature, defect census — is bit-identical between the
+	// serial reference and a multi-worker pool.
+	run := func(workers int) *mdkmc.MDResult {
+		cfg := mdkmc.DefaultMDConfig()
+		cfg.Cells = [3]int{6, 6, 6}
+		cfg.Steps = 10
+		cfg.TablePoints = 500
+		cfg.Workers = workers
+		res, err := mdkmc.RunMD(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(3)
+	if serial.Kinetic != parallel.Kinetic || serial.Potential != parallel.Potential {
+		t.Errorf("energies diverged: serial (%v, %v) vs 3 workers (%v, %v)",
+			serial.Kinetic, serial.Potential, parallel.Kinetic, parallel.Potential)
+	}
+	if serial.Temperature != parallel.Temperature {
+		t.Errorf("temperature diverged: %v vs %v", serial.Temperature, parallel.Temperature)
+	}
+	if serial.Vacancies != parallel.Vacancies {
+		t.Errorf("vacancy count diverged: %d vs %d", serial.Vacancies, parallel.Vacancies)
+	}
+}
+
 func TestRunMDRejectsInvalid(t *testing.T) {
 	cfg := mdkmc.DefaultMDConfig()
 	cfg.Dt = -1

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 
@@ -136,7 +137,13 @@ func ReadSetfl(r io.Reader) (*SetflTables, error) {
 			return nil, fmt.Errorf("eam: dimension line %q: %w", dims, e)
 		}
 	}
-	if nrho < 8 || nr < 8 || drho <= 0 || dr <= 0 || cutoff <= 0 {
+	// Each grid parameter must be strictly positive AND finite: NaN slips
+	// past a `<= 0` test (every NaN comparison is false) and a NaN or Inf
+	// spacing would turn the first Table.Eval into an out-of-range index.
+	finitePos := func(v float64) bool {
+		return v > 0 && !math.IsInf(v, 1)
+	}
+	if nrho < 8 || nr < 8 || !finitePos(drho) || !finitePos(dr) || !finitePos(cutoff) {
 		return nil, fmt.Errorf("eam: implausible dimensions %q", dims)
 	}
 	hdr, err := line()

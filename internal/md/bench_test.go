@@ -1,0 +1,49 @@
+package md
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"mdkmc/internal/mpi"
+)
+
+// BenchmarkMDStep measures one velocity-Verlet step — two force passes plus
+// ghost protocol and relinking — on the 20³-cell box (16,000 atoms,
+// compacted 5000-point tables, 600 K) for the serial reference and the
+// worker pool (`make bench-md`; numbers recorded in EXPERIMENTS.md). The
+// equivalence tests prove every worker count produces bit-identical
+// results, so this measures wall-clock only.
+func BenchmarkMDStep(b *testing.B) {
+	for _, workers := range benchWorkerCounts() {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultConfig()
+			cfg.Cells = [3]int{20, 20, 20}
+			cfg.Temperature = 600
+			cfg.Workers = workers
+			w := mpi.NewWorld(1)
+			w.Run(func(c *mpi.Comm) {
+				r, err := NewRank(cfg, c)
+				if err != nil {
+					panic(err)
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.Step()
+				}
+				b.StopTimer()
+				b.ReportMetric(r.Pool.ForceTiming.Imbalance(), "imbalance")
+			})
+		})
+	}
+}
+
+// benchWorkerCounts is {1, 4, NumCPU} deduplicated: the serial reference,
+// the acceptance point, and whatever the host offers.
+func benchWorkerCounts() []int {
+	counts := []int{1, 4}
+	if n := runtime.NumCPU(); n > 1 && n != 4 {
+		counts = append(counts, n)
+	}
+	return counts
+}

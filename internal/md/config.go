@@ -66,6 +66,14 @@ type Config struct {
 
 	Seed uint64
 
+	// Workers is the number of OS worker goroutines the shared-memory force
+	// driver (and the host side of the CPE kernel) uses per rank: 0 means
+	// runtime.GOMAXPROCS, 1 is the serial reference mode. Results are
+	// bit-identical for every value — the driver shards into a fixed number
+	// of chunks and reduces them in chunk order (DESIGN.md §9) — so the
+	// knob trades wall-clock only.
+	Workers int
+
 	Mode        eam.Mode
 	TablePoints int
 	Skin        float64
@@ -116,6 +124,9 @@ func (c *Config) Validate() error {
 	}
 	if c.TablePoints < 8 {
 		return fmt.Errorf("md: table resolution %d too small", c.TablePoints)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("md: negative worker count %d", c.Workers)
 	}
 	if c.CuFraction < 0 || c.CuFraction > 1 {
 		return fmt.Errorf("md: copper fraction %v out of range", c.CuFraction)

@@ -107,6 +107,10 @@ type CPEKernel struct {
 	// Alloy selects the minority-table strategy when the potential has
 	// more than one species; ignored for pure iron.
 	Alloy AlloyTableStrategy
+	// Workers caps the host-side OS goroutines that simulate the 64 CPEs
+	// (0 = GOMAXPROCS, 1 = serial). Virtual times and numerical results are
+	// identical for every value; see sunway.SpawnN.
+	Workers int
 	// SoftwareCache emulates the LDM's software-cache configuration instead
 	// of the user-controlled buffer: every data access pays a tag check and
 	// misses fetch whole lines by DMA, with no double-buffer pipeline. The
@@ -270,12 +274,13 @@ func (k *CPEKernel) charge(c *sunway.CPE, spec passSpec, sites int, st OpStats) 
 // run executes one pass: real physics partitioned over the 64 CPEs plus the
 // cost charges, returning the pass's aggregate operation counts (and energy
 // for the force pass). Per-CPE results are reduced in CPE-ID order so the
-// floating-point energy sum is deterministic.
+// floating-point energy sum is deterministic — the same 64-way split and
+// merge order as the plain ForcePool, so the two paths agree bitwise.
 func (k *CPEKernel) run(s *neighbor.Store, spec passSpec, force bool) (OpStats, float64) {
 	var perStats [sunway.CPEsPerGroup]OpStats
 	var perEnergy [sunway.CPEsPerGroup]float64
 	k.CG.ResetAll()
-	worst := k.CG.Spawn(k.doubleBuffer(), func(c *sunway.CPE) {
+	worst := k.CG.SpawnN(k.Workers, k.doubleBuffer(), func(c *sunway.CPE) {
 		lo, hi := s.Box.SpanCells(sunway.CPEsPerGroup, c.ID)
 		var st OpStats
 		var e float64

@@ -46,6 +46,7 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Steps = -1 },
 		func(c *Config) { c.Skin = 0 },
 		func(c *Config) { c.TablePoints = 2 },
+		func(c *Config) { c.Workers = -1 },
 	}
 	for i, mutate := range cases {
 		cfg := DefaultConfig()

@@ -1,0 +1,232 @@
+package md
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"mdkmc/internal/lattice"
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/perf"
+	"mdkmc/internal/vec"
+)
+
+// atomState is everything the force passes produce for one atom.
+type atomState struct {
+	r, v, f vec.V
+	rho     float64
+}
+
+// worldState collects the observables that must be bit-identical across
+// worker counts: every atom's full state plus each rank's energy share and
+// operation counts.
+type worldState struct {
+	atoms map[int64]atomState
+	pe    []float64
+	stats []OpStats
+}
+
+// gatherState advances `steps` steps of cfg on a fresh world (optionally
+// attaching a kernel per rank) and snapshots every owned atom.
+func gatherState(t *testing.T, cfg Config, steps int, attach func(r *Rank)) worldState {
+	t.Helper()
+	out := worldState{
+		atoms: make(map[int64]atomState),
+		pe:    make([]float64, cfg.Ranks()),
+		stats: make([]OpStats, cfg.Ranks()),
+	}
+	w := mpi.NewWorld(cfg.Ranks())
+	mu := make(chan struct{}, 1)
+	mu <- struct{}{}
+	w.Run(func(c *mpi.Comm) {
+		r, err := NewRank(cfg, c)
+		if err != nil {
+			panic(err)
+		}
+		if attach != nil {
+			attach(r)
+		}
+		for i := 0; i < steps; i++ {
+			r.Step()
+		}
+		local := make(map[int64]atomState)
+		r.Box.EachOwned(func(_ lattice.Coord, li int) {
+			if !r.Store.IsVacancy(li) {
+				local[r.Store.ID[li]] = atomState{
+					r: r.Store.R[li], v: r.Store.Vel[li],
+					f: r.Store.F[li], rho: r.Store.Rho[li],
+				}
+			}
+			r.Store.EachRunaway(li, func(_ int32, a *neighbor.Runaway) {
+				local[a.ID] = atomState{r: a.R, v: a.Vel, f: a.F, rho: a.Rho}
+			})
+		})
+		<-mu
+		for id, st := range local {
+			out.atoms[id] = st
+		}
+		out.pe[c.Rank()] = r.LastPE
+		out.stats[c.Rank()] = r.LastStats
+		mu <- struct{}{}
+	})
+	return out
+}
+
+// requireIdentical asserts bit-exact equality of two world states.
+func requireIdentical(t *testing.T, label string, want, got worldState) {
+	t.Helper()
+	if len(got.atoms) != len(want.atoms) {
+		t.Fatalf("%s: %d atoms vs %d", label, len(got.atoms), len(want.atoms))
+	}
+	for id, a := range want.atoms {
+		b, ok := got.atoms[id]
+		if !ok {
+			t.Fatalf("%s: atom %d missing", label, id)
+		}
+		if a != b {
+			t.Fatalf("%s: atom %d diverged:\n  want %+v\n  got  %+v", label, id, a, b)
+		}
+	}
+	for rk := range want.pe {
+		if want.pe[rk] != got.pe[rk] {
+			t.Fatalf("%s: rank %d PE %v, want bit-equal %v", label, rk, got.pe[rk], want.pe[rk])
+		}
+		if want.stats[rk] != got.stats[rk] {
+			t.Fatalf("%s: rank %d op stats diverged:\n  want %+v\n  got  %+v",
+				label, rk, want.stats[rk], got.stats[rk])
+		}
+	}
+}
+
+func TestWorkersEquivalence(t *testing.T) {
+	// The tentpole property: the worker count is invisible in the results.
+	// Positions, velocities, forces, densities, per-rank energy shares, and
+	// operation counts are bit-identical for Workers ∈ {1, 2, 4, 7} —
+	// serial reference included — for pure Fe and the Fe-Cu alloy, on one
+	// rank (periodic self-exchange only) and across a 2-rank ghost
+	// boundary, through a cascade that converts residents to run-aways and
+	// migrates them between ranks.
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"fe-1rank", func(c *Config) {}},
+		{"fe-2ranks", func(c *Config) {
+			c.Cells = [3]int{8, 6, 6}
+			c.Grid = [3]int{2, 1, 1}
+		}},
+		{"fecu-2ranks", func(c *Config) {
+			c.Cells = [3]int{8, 6, 6}
+			c.Grid = [3]int{2, 1, 1}
+			c.CuFraction = 0.25
+		}},
+	}
+	const steps = 8
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Temperature = 600
+			cfg.Dt = 2e-4
+			cfg.PKA = &PKA{Energy: 120}
+			tc.mut(&cfg)
+			cfg.Workers = 1
+			ref := gatherState(t, cfg, steps, nil)
+			for _, workers := range []int{2, 4, 7} {
+				cfg.Workers = workers
+				got := gatherState(t, cfg, steps, nil)
+				requireIdentical(t, fmt.Sprintf("%s/workers=%d", tc.name, workers), ref, got)
+			}
+		})
+	}
+}
+
+func TestWorkersEquivalenceCPEKernel(t *testing.T) {
+	// The same invariance through the CPE kernel, for multiple variants and
+	// host worker counts — and against the plain pool itself: both shard
+	// the owned cells 64 ways and reduce in chunk order, so the simulated
+	// cluster and the host pool agree bitwise on every observable,
+	// including the floating-point energy.
+	cfg := smallConfig()
+	cfg.Temperature = 600
+	const steps = 3
+	cfg.Workers = 1
+	ref := gatherState(t, cfg, steps, nil)
+	for _, variant := range []KernelVariant{VariantTraditional, VariantFull} {
+		for _, workers := range []int{1, 4} {
+			cfg.Workers = workers
+			got := gatherState(t, cfg, steps, func(r *Rank) { r.AttachCPEKernel(variant) })
+			requireIdentical(t, fmt.Sprintf("%v/workers=%d", variant, workers), ref, got)
+		}
+	}
+}
+
+func TestEnergyConservationNVEParallel(t *testing.T) {
+	// Property test guarding the NVE integrator against force-kernel
+	// regressions: over 200 thermostat-free steps the total energy must
+	// drift by less than 2e-5 eV/atom — with multi-worker force passes and
+	// with the CPE kernel attached, not just the serial reference the
+	// original TestEnergyConservationNVE exercises.
+	for _, tc := range []struct {
+		name   string
+		attach func(r *Rank)
+	}{
+		{"pool-4-workers", nil},
+		{"cpe-kernel-full", func(r *Rank) { r.AttachCPEKernel(VariantFull) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Temperature = 300
+			cfg.Workers = 4
+			runWorld(t, cfg, func(r *Rank) {
+				if tc.attach != nil {
+					tc.attach(r)
+				}
+				ke0, pe0 := r.TotalEnergy()
+				for i := 0; i < 200; i++ {
+					r.Step()
+				}
+				ke1, pe1 := r.TotalEnergy()
+				drift := math.Abs((ke1+pe1)-(ke0+pe0)) / float64(r.GlobalAtomCount())
+				if drift > 2e-5 {
+					t.Errorf("NVE drift %.3g eV/atom over 200 steps", drift)
+				}
+				if ke1 == ke0 {
+					t.Errorf("kinetic energy frozen")
+				}
+			})
+		})
+	}
+}
+
+func TestForcePoolTimingCounters(t *testing.T) {
+	// The perf instrumentation of the pool: every worker's busy time and
+	// chunk count is recorded per pass, the chunks tile the box exactly,
+	// and the imbalance metric is well-formed.
+	cfg := smallConfig()
+	cfg.Workers = 3
+	runWorld(t, cfg, func(r *Rank) {
+		r.Step()
+		for pass, tm := range map[string]*perf.WorkerTiming{
+			"density": &r.Pool.DensityTiming,
+			"force":   &r.Pool.ForceTiming,
+		} {
+			if tm.Workers() != 3 {
+				t.Errorf("%s pass: %d workers recorded, want 3", pass, tm.Workers())
+			}
+			total := 0
+			for _, n := range tm.Chunks {
+				total += n
+			}
+			if total != ForceChunks {
+				t.Errorf("%s pass: %d chunks executed, want %d", pass, total, ForceChunks)
+			}
+			if tm.Wall <= 0 {
+				t.Errorf("%s pass: no wall time recorded", pass)
+			}
+			if im := tm.Imbalance(); im < 1 || math.IsNaN(im) {
+				t.Errorf("%s pass: imbalance %v, want >= 1", pass, im)
+			}
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package md
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mdkmc/internal/neighbor"
+	"mdkmc/internal/perf"
+	"mdkmc/internal/sunway"
+)
+
+// ForceChunks is the fixed sharding granularity of the shared-memory force
+// driver: the owned cells are always partitioned into this many contiguous
+// ranges — the same 64-way slab split as the simulated CPE cluster —
+// regardless of how many OS workers execute them. Fixing the granularity
+// (instead of cutting one range per worker) is what makes the reduction
+// deterministic: every chunk's partial energy and operation counts are a
+// pure function of the store state, and the merge always walks chunks in
+// index order, so the result is bit-identical for every Workers value and
+// to the CPE kernel's per-lane reduction (DESIGN.md §9).
+const ForceChunks = sunway.CPEsPerGroup
+
+// ForcePool runs the two force-field passes over a worker pool. It is safe
+// because the passes have disjoint writes by construction: the kernel is
+// full-neighbor (each central atom accumulates its own complete force and
+// density; pairs are evaluated from both sides rather than scattered via
+// Newton's third law), so a chunk only writes the F/Rho of atoms anchored
+// in its own cells while reading neighbor state that no concurrent chunk
+// writes — positions everywhere, densities only during the force pass,
+// which does not modify them.
+//
+// Workers == 1 executes the chunks inline on the calling goroutine and is
+// the retained serial reference mode (mirroring the KMC FullRescan
+// pattern); Workers == 0 resolves to runtime.GOMAXPROCS.
+type ForcePool struct {
+	FF      *ForceField
+	Workers int
+
+	// Per-pass host timing of the most recent Densities/Forces call —
+	// real wall-clock, not the CPE cost model (see perf.WorkerTiming).
+	DensityTiming perf.WorkerTiming
+	ForceTiming   perf.WorkerTiming
+}
+
+// NewForcePool builds a pool over the force field with the given worker
+// count (0 = GOMAXPROCS).
+func NewForcePool(ff *ForceField, workers int) *ForcePool {
+	return &ForcePool{FF: ff, Workers: workers}
+}
+
+// ResolveWorkers maps the Workers knob to the effective worker count.
+func ResolveWorkers(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// Densities runs the density pass sharded over the pool; bit-identical to
+// ForceField.DensitiesRange over the same chunks in any worker order.
+func (p *ForcePool) Densities(s *neighbor.Store) OpStats {
+	st, _ := p.run(s, false, &p.DensityTiming)
+	return st
+}
+
+// Forces runs the force pass sharded over the pool and returns the owned
+// potential-energy share, reduced in chunk order.
+func (p *ForcePool) Forces(s *neighbor.Store) (OpStats, float64) {
+	return p.run(s, true, &p.ForceTiming)
+}
+
+// run executes one pass: ForceChunks independent cell ranges dispatched to
+// the workers by a shared counter (dynamic load balancing — cascade cores
+// make chunks unequal), partial results stored per chunk and merged in
+// chunk-index order.
+func (p *ForcePool) run(s *neighbor.Store, force bool, timing *perf.WorkerTiming) (OpStats, float64) {
+	var perStats [ForceChunks]OpStats
+	var perEnergy [ForceChunks]float64
+	runChunk := func(i int) {
+		lo, hi := s.Box.SpanCells(ForceChunks, i)
+		if force {
+			perStats[i], perEnergy[i] = p.FF.ForcesRange(s, lo, hi)
+		} else {
+			perStats[i] = p.FF.DensitiesRange(s, lo, hi)
+		}
+	}
+
+	workers := ResolveWorkers(p.Workers)
+	timing.Reset(workers)
+	wall := time.Now()
+	if workers == 1 {
+		for i := 0; i < ForceChunks; i++ {
+			runChunk(i)
+		}
+		timing.Record(0, time.Since(wall), ForceChunks)
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				start := time.Now()
+				chunks := 0
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= ForceChunks {
+						break
+					}
+					runChunk(i)
+					chunks++
+				}
+				timing.Record(w, time.Since(start), chunks)
+			}(w)
+		}
+		wg.Wait()
+	}
+	timing.Wall = time.Since(wall)
+
+	var st OpStats
+	var energy float64
+	for i := 0; i < ForceChunks; i++ {
+		st.Add(perStats[i])
+		energy += perEnergy[i]
+	}
+	return st, energy
+}

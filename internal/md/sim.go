@@ -24,6 +24,10 @@ type Rank struct {
 	Store *neighbor.Store
 	Pot   *eam.Potential
 	FF    *ForceField
+	// Pool drives the two force passes over Cfg.Workers OS goroutines; its
+	// fixed-chunk reduction makes every worker count bit-identical
+	// (pool.go).
+	Pool *ForcePool
 
 	Ex        *exchange
 	StepCount int
@@ -76,6 +80,7 @@ func NewRank(cfg Config, comm *mpi.Comm) (*Rank, error) {
 		Pot:   pot,
 		FF:    NewForceField(store, pot, cfg.Skin),
 	}
+	r.Pool = NewForcePool(r.FF, cfg.Workers)
 	r.Ex = newExchange(comm, grid, box)
 	if cfg.CuFraction > 0 {
 		r.substituteCopper(cfg.CuFraction)
@@ -167,22 +172,33 @@ func (r *Rank) applyPKA(p PKA) {
 		vec.V{X: p.Direction[0], Y: p.Direction[1], Z: p.Direction[2]})
 }
 
+// AttachCPEKernel replaces the plain force computation with the Sunway
+// CPE-offloaded kernel of the given variant, hosted on the rank's worker
+// count.
+func (r *Rank) AttachCPEKernel(variant KernelVariant) *CPEKernel {
+	r.Kernel = NewCPEKernel(r.FF, variant)
+	r.Kernel.Workers = r.Cfg.Workers
+	return r.Kernel
+}
+
 // computeForces runs the ghost protocol and the two force passes, through
-// the CPE kernel when one is attached.
+// the CPE kernel when one is attached and the worker pool otherwise. Both
+// paths shard the owned cells 64 ways and reduce in chunk order, so they
+// produce bit-identical forces, densities, and energies.
 func (r *Rank) computeForces() {
 	r.Ex.ExchangePositions(r.Store)
 	var st OpStats
 	if r.Kernel != nil {
 		st = r.Kernel.Densities(r.Store)
 	} else {
-		st = r.FF.Densities(r.Store)
+		st = r.Pool.Densities(r.Store)
 	}
 	r.Ex.ExchangeDensities(r.Store)
 	var fst OpStats
 	if r.Kernel != nil {
 		fst, r.LastPE = r.Kernel.Forces(r.Store)
 	} else {
-		fst, r.LastPE = r.FF.Forces(r.Store)
+		fst, r.LastPE = r.Pool.Forces(r.Store)
 	}
 	st.Add(fst)
 	r.LastStats = st

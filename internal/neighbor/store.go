@@ -46,6 +46,16 @@ type Runaway struct {
 
 // Store is the lattice neighbor list for one subdomain (owned cells plus
 // ghost halo). All per-site arrays are indexed by Box.LocalIndex.
+//
+// Concurrency contract for the force passes: disjoint owned-cell ranges may
+// be swept concurrently because (a) the static geometry (Deltas, Head
+// chains, pool links, ID/Type) is never modified during a pass, (b) a sweep
+// writes only the Rho (density pass) or F (force pass) of atoms anchored in
+// its own cells, and (c) what it reads of other cells — R always, Rho only
+// in the force pass — is not written by any concurrent sweep of that pass.
+// Everything that restructures the store (AddRunaway, MakeVacancy,
+// FillSite, ghost unpacking, ...) must happen between passes, on one
+// goroutine.
 type Store struct {
 	Box *lattice.Box
 	Tab *lattice.OffsetTable

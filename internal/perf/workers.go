@@ -1,0 +1,84 @@
+package perf
+
+import (
+	"fmt"
+	"time"
+)
+
+// WorkerTiming records the measured per-worker busy times of one parallel
+// kernel pass (density or force sweep) on the host machine. Unlike the
+// analytic models in this package, these are real wall-clock counters: the
+// shared-memory force driver fills one WorkerTiming per pass, and the
+// imbalance metrics quantify how evenly the dynamic chunk scheduler spread
+// the owned-cell chunks over the OS workers — the host-side analogue of the
+// paper's concern that "the workload of each CPE should be balanced".
+type WorkerTiming struct {
+	Busy   []time.Duration // per-worker time spent inside chunk work
+	Chunks []int           // chunks each worker executed
+	Wall   time.Duration   // elapsed time of the whole pass (fork to join)
+}
+
+// Reset prepares the timing for a pass executed by n workers.
+func (t *WorkerTiming) Reset(n int) {
+	if cap(t.Busy) < n {
+		t.Busy = make([]time.Duration, n)
+		t.Chunks = make([]int, n)
+	}
+	t.Busy = t.Busy[:n]
+	t.Chunks = t.Chunks[:n]
+	for i := 0; i < n; i++ {
+		t.Busy[i] = 0
+		t.Chunks[i] = 0
+	}
+	t.Wall = 0
+}
+
+// Record stores worker w's busy time and chunk count. Workers call it with
+// distinct w, so concurrent records need no locking.
+func (t *WorkerTiming) Record(w int, busy time.Duration, chunks int) {
+	t.Busy[w] = busy
+	t.Chunks[w] = chunks
+}
+
+// Workers returns the number of workers of the recorded pass.
+func (t *WorkerTiming) Workers() int { return len(t.Busy) }
+
+// MaxBusy returns the busiest worker's time — the pass's critical path.
+func (t *WorkerTiming) MaxBusy() time.Duration {
+	var max time.Duration
+	for _, b := range t.Busy {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// MeanBusy returns the average per-worker busy time.
+func (t *WorkerTiming) MeanBusy() time.Duration {
+	if len(t.Busy) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, b := range t.Busy {
+		sum += b
+	}
+	return sum / time.Duration(len(t.Busy))
+}
+
+// Imbalance returns max/mean busy time: 1.0 is a perfectly balanced pass,
+// and (imbalance-1) is the fraction of the critical path spent waiting on
+// stragglers. A pass with no recorded work reports 1.
+func (t *WorkerTiming) Imbalance() float64 {
+	mean := t.MeanBusy()
+	if mean <= 0 {
+		return 1
+	}
+	return float64(t.MaxBusy()) / float64(mean)
+}
+
+// String formats the pass summary for logs and harness output.
+func (t *WorkerTiming) String() string {
+	return fmt.Sprintf("workers=%d wall=%v max=%v mean=%v imbalance=%.2f",
+		t.Workers(), t.Wall, t.MaxBusy(), t.MeanBusy(), t.Imbalance())
+}

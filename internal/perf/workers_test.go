@@ -1,0 +1,42 @@
+package perf
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWorkerTiming(t *testing.T) {
+	var wt WorkerTiming
+	wt.Reset(4)
+	if wt.Workers() != 4 {
+		t.Fatalf("workers = %d, want 4", wt.Workers())
+	}
+	if wt.Imbalance() != 1 {
+		t.Errorf("empty pass imbalance %v, want 1", wt.Imbalance())
+	}
+	wt.Record(0, 40*time.Millisecond, 20)
+	wt.Record(1, 20*time.Millisecond, 16)
+	wt.Record(2, 20*time.Millisecond, 16)
+	wt.Record(3, 0, 12)
+	wt.Wall = 45 * time.Millisecond
+	if got := wt.MaxBusy(); got != 40*time.Millisecond {
+		t.Errorf("max busy %v", got)
+	}
+	if got := wt.MeanBusy(); got != 20*time.Millisecond {
+		t.Errorf("mean busy %v", got)
+	}
+	if got := wt.Imbalance(); got != 2 {
+		t.Errorf("imbalance %v, want 2 (40ms max / 20ms mean)", got)
+	}
+	if s := wt.String(); !strings.Contains(s, "imbalance=2.00") {
+		t.Errorf("summary %q", s)
+	}
+
+	// Reset must fully clear a reused timing, including between worker
+	// counts (the pool reuses one struct per pass).
+	wt.Reset(2)
+	if wt.Workers() != 2 || wt.MaxBusy() != 0 || wt.Chunks[0] != 0 || wt.Wall != 0 {
+		t.Errorf("reset left state behind: %+v", wt)
+	}
+}

@@ -20,7 +20,9 @@ package sunway
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Hardware constants of one SW26010 core group.
@@ -289,19 +291,48 @@ func NewCoreGroup(p Params) *CoreGroup {
 	return g
 }
 
-// Spawn runs fn concurrently on all 64 CPEs (the Athread model: one thread
-// per slave core) and waits for completion, returning the virtual time of
-// the slowest CPE under the given buffering regime.
+// Spawn runs fn on all 64 CPEs (the Athread model: one thread per slave
+// core) and waits for completion, returning the virtual time of the slowest
+// CPE under the given buffering regime. Host concurrency defaults to
+// GOMAXPROCS; use SpawnN to pin it.
 func (g *CoreGroup) Spawn(doubleBuffer bool, fn func(c *CPE)) float64 {
-	var wg sync.WaitGroup
-	for _, c := range g.CPEs {
-		wg.Add(1)
-		go func(c *CPE) {
-			defer wg.Done()
-			fn(c)
-		}(c)
+	return g.SpawnN(0, doubleBuffer, fn)
+}
+
+// SpawnN is Spawn with the host-side concurrency capped at `workers` OS
+// goroutines (0 means GOMAXPROCS). The 64 virtual CPEs are still all
+// executed — workers pull CPE IDs from a shared counter — so the virtual
+// clocks and numerical results are identical for every workers value;
+// only the real wall-clock spent simulating the cluster changes.
+func (g *CoreGroup) SpawnN(workers int, doubleBuffer bool, fn func(c *CPE)) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	wg.Wait()
+	if workers > len(g.CPEs) {
+		workers = len(g.CPEs)
+	}
+	if workers <= 1 {
+		for _, c := range g.CPEs {
+			fn(c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(g.CPEs) {
+						return
+					}
+					fn(g.CPEs[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	var worst float64
 	for _, c := range g.CPEs {
 		if t := c.Time(doubleBuffer); t > worst {
