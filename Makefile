@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race bench-kmc bench-md fuzz-setfl figures
+.PHONY: check build test vet race recovery bench-kmc bench-md fuzz-setfl figures
 
 check: vet build race
 
@@ -19,11 +19,19 @@ test:
 	$(GO) test ./...
 
 # The hot concurrent packages run first with -count=1 so the race detector
-# always re-executes them (a cached "ok" proves nothing); the full suite
-# then runs under -race as well.
+# always re-executes them (a cached "ok" proves nothing); internal/couple
+# joins the list because the checkpoint coordinator and fault-injection
+# recovery tests exercise the rank-abort paths across goroutines. The full
+# suite then runs under -race as well.
 race:
-	$(GO) test -race -count=1 ./internal/md ./internal/mpi
+	$(GO) test -race -count=1 ./internal/md ./internal/mpi ./internal/couple
 	$(GO) test -race ./...
+
+# The fault-injection recovery gate on its own: crash a coupled run at an
+# armed point, restart from the newest snapshot, demand bit-identical
+# results (plus the atomic-commit guarantee).
+recovery:
+	$(GO) test -race -count=1 -run 'TestRecovery|TestAtomicCommit' ./internal/couple
 
 # The incremental-vs-rescan KMC cycle contrast (EXPERIMENTS.md).
 bench-kmc:

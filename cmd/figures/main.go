@@ -80,7 +80,7 @@ func fig9(quick bool) {
 		w.Run(func(c *mpi.Comm) {
 			rank, err := md.NewRank(cfg, c)
 			if err != nil {
-				panic(err)
+				log.Fatalf("fig9: md rank setup (%v cells): %v", cfg.Cells, err)
 			}
 			rank.AttachCPEKernel(v)
 			rank.Step() // one full step through the CPE kernel
@@ -184,7 +184,7 @@ func measureMD(cells, grid [3]int, steps int) (float64, int64) {
 	w.Run(func(c *mpi.Comm) {
 		rank, err := md.NewRank(cfg, c)
 		if err != nil {
-			panic(err)
+			log.Fatalf("md measurement setup (%v cells, %v grid): %v", cells, grid, err)
 		}
 		before := c.Stats.BytesSent
 		for i := 0; i < steps; i++ {
@@ -207,7 +207,7 @@ func kmcVolume(cfg kmc.Config, cycles int) (bytes, msgs int64) {
 	w.Run(func(c *mpi.Comm) {
 		st, err := kmc.NewState(cfg, c)
 		if err != nil {
-			panic(err)
+			log.Fatalf("kmc volume measurement setup (%v grid): %v", cfg.Grid, err)
 		}
 		base := st.Stats()
 		for i := 0; i < cycles; i++ {
@@ -284,7 +284,7 @@ func fig14(quick bool) {
 		w.Run(func(c *mpi.Comm) {
 			st, err := kmc.NewState(cfg, c)
 			if err != nil {
-				panic(err)
+				log.Fatalf("fig14: kmc state setup (%v grid): %v", cfg.Grid, err)
 			}
 			for i := 0; i < 10; i++ {
 				st.Cycle()
@@ -313,7 +313,7 @@ func fig15(bool) {
 		w.Run(func(c *mpi.Comm) {
 			st, err := kmc.NewState(cfg, c)
 			if err != nil {
-				panic(err)
+				log.Fatalf("fig15: kmc state setup (%v grid): %v", cfg.Grid, err)
 			}
 			for i := 0; i < 10; i++ {
 				st.Cycle()
@@ -358,7 +358,7 @@ func fig16(quick bool) {
 		}
 		start := time.Now()
 		if _, err := mdkmc.RunCoupled(cfg); err != nil {
-			panic(err)
+			log.Fatalf("fig16: coupled run: %v", err)
 		}
 		ranks := g[0] * g[1] * g[2]
 		perRank := time.Since(start).Seconds() / float64(ranks)
@@ -393,7 +393,7 @@ func fig17(quick bool) {
 		Protocol:  kmc.OnDemand,
 	})
 	if err != nil {
-		panic(err)
+		log.Fatalf("fig17: coupled run: %v", err)
 	}
 	fmt.Println(res)
 	fmt.Println("\n(a) after MD — dispersive:")

@@ -27,8 +27,19 @@ func main() {
 		temp   = flag.Float64("temp", 600, "temperature in K")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		proto  = flag.String("protocol", "on-demand", "traditional|on-demand|on-demand-1sided")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
+		ckptEvery = flag.Int("checkpoint-every", 10, "snapshot cadence in KMC cycles")
+		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
+		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
+		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: kmc-cycle, checkpoint-commit)")
 	)
 	flag.Parse()
+
+	faults, err := mdkmc.ParseFaults(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := mdkmc.DefaultKMCConfig()
 	cfg.Cells = [3]int{*cells, *cells, *cells}
@@ -48,7 +59,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := mdkmc.RunKMC(cfg, *cycles, 0)
+	res, err := mdkmc.RunKMCCheckpointed(cfg, *cycles, 0, mdkmc.Checkpoint{
+		Dir:     *ckptDir,
+		Every:   *ckptEvery,
+		Keep:    *ckptKeep,
+		Restart: *restart,
+	}, faults...)
 	if err != nil {
 		log.Fatal(err)
 	}

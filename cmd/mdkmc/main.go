@@ -27,8 +27,19 @@ func main() {
 		cycles  = flag.Int("kmc-cycles", 60, "KMC cycles (evolution phase)")
 		temp    = flag.Float64("temp", 300, "temperature in K")
 		seed    = flag.Uint64("seed", 1, "random seed")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "snapshot cadence in MD steps / KMC cycles")
+		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
+		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
+		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, kmc-cycle, checkpoint-commit)")
 	)
 	flag.Parse()
+
+	faults, err := mdkmc.ParseFaults(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	mcfg := mdkmc.DefaultMDConfig()
 	mcfg.Cells = [3]int{*cells, *cells, *cells}
@@ -43,6 +54,13 @@ func main() {
 		MD:        mcfg,
 		KMCCycles: *cycles,
 		Protocol:  mdkmc.ProtocolOnDemand,
+		Checkpoint: mdkmc.Checkpoint{
+			Dir:     *ckptDir,
+			Every:   *ckptEvery,
+			Keep:    *ckptKeep,
+			Restart: *restart,
+		},
+		Faults: faults,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -29,8 +29,19 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mode    = flag.String("tables", "compacted", "potential evaluation: analytic|compacted|traditional")
 		workers = flag.Int("workers", 0, "force-pass worker goroutines per rank (0 = GOMAXPROCS, 1 = serial reference)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
+		ckptEvery = flag.Int("checkpoint-every", 50, "snapshot cadence in MD steps")
+		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
+		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
+		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, checkpoint-commit)")
 	)
 	flag.Parse()
+
+	faults, err := mdkmc.ParseFaults(*faultSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	cfg := mdkmc.DefaultMDConfig()
 	cfg.Cells = [3]int{*cells, *cells, *cells}
@@ -55,7 +66,12 @@ func main() {
 		cfg.PKA = &mdkmc.PKA{Energy: *pka}
 	}
 
-	res, err := mdkmc.RunMD(cfg)
+	res, err := mdkmc.RunMDCheckpointed(cfg, mdkmc.Checkpoint{
+		Dir:     *ckptDir,
+		Every:   *ckptEvery,
+		Keep:    *ckptKeep,
+		Restart: *restart,
+	}, faults...)
 	if err != nil {
 		log.Fatal(err)
 	}

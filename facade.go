@@ -3,7 +3,6 @@ package mdkmc
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"mdkmc/internal/cluster"
 	"mdkmc/internal/couple"
@@ -40,7 +39,28 @@ type (
 	CommStats = mpi.Stats
 	// Coord identifies a lattice site.
 	Coord = lattice.Coord
+	// Checkpoint configures periodic snapshots and restart.
+	Checkpoint = couple.Checkpoint
+	// Manifest describes one committed snapshot (see LatestCheckpoint).
+	Manifest = couple.Manifest
+	// Fault schedules an injected rank failure for recovery testing.
+	Fault = mpi.Fault
+	// InjectedFault is the error a fault-killed run returns (errors.As).
+	InjectedFault = mpi.InjectedFault
 )
+
+// Fault-injection points understood by Fault.Point, plus the environment
+// variable holding an out-of-band fault plan ("point:rank:step,...").
+const (
+	FaultPointMDStep           = mpi.PointMDStep
+	FaultPointKMCCycle         = mpi.PointKMCCycle
+	FaultPointCheckpointCommit = mpi.PointCheckpointCommit
+	FaultEnvVar                = mpi.EnvFault
+)
+
+// ParseFaults parses a comma-separated "point:rank:step" fault plan, the
+// same syntax the MDKMC_FAULT environment variable accepts.
+func ParseFaults(s string) ([]Fault, error) { return mpi.ParseFaults(s) }
 
 // KMC communication protocols (paper §2.2.1).
 const (
@@ -68,67 +88,87 @@ type MDResult struct {
 	Clusters     ClusterAnalysis
 }
 
-// errCapture records the first error reported by any rank, so the facade
-// can honor its (*Result, error) contract regardless of which rank failed.
-type errCapture struct {
-	mu  sync.Mutex
-	err error
-}
-
-func (e *errCapture) set(err error) {
-	e.mu.Lock()
-	if e.err == nil {
-		e.err = err
+// prepareCheckpoint resolves the restart manifest and coordinator for a
+// single-stage checkpointed run. A nil coordinator (ck.Dir empty) disables
+// snapshots; a nil manifest means a fresh start.
+func prepareCheckpoint(ck Checkpoint, hash, stage string, ranks int) (*couple.Coordinator, *Manifest, error) {
+	if ck.Dir == "" {
+		return nil, nil, nil
 	}
-	e.mu.Unlock()
-}
-
-func (e *errCapture) get() error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.err
-}
-
-// runRanks executes fn across the world's ranks and converts rank failures
-// into an ordinary error: a rank that cannot construct its state records the
-// error in ec and panics, which aborts the world (waking every peer blocked
-// in a receive or collective); the re-raised panic is recovered here and the
-// first recorded error — from whichever rank — is returned.
-func runRanks(w *mpi.World, ec *errCapture, fn func(c *mpi.Comm)) (err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			if e := ec.get(); e != nil {
-				err = e
-				return
-			}
-			if e, ok := p.(error); ok {
-				err = e
-				return
-			}
-			err = fmt.Errorf("mdkmc: rank panic: %v", p)
+	var man *Manifest
+	var err error
+	if ck.Restart {
+		if man, err = couple.Latest(ck.Dir, hash); err != nil {
+			return nil, nil, err
 		}
-	}()
-	w.Run(fn)
-	return ec.get()
+	}
+	co, err := couple.NewCoordinator(ck, hash)
+	if err != nil {
+		return nil, nil, err
+	}
+	if man != nil {
+		if man.Stage != stage {
+			return nil, nil, fmt.Errorf("mdkmc: checkpoint holds a %q-stage snapshot, this is a %s run", man.Stage, stage)
+		}
+		if man.Ranks != ranks {
+			return nil, nil, fmt.Errorf("mdkmc: checkpoint has %d ranks, this run needs %d", man.Ranks, ranks)
+		}
+	}
+	return co, man, nil
 }
 
 // RunMD builds the in-process world for cfg.Grid, advances cfg.Steps MD
 // steps on every rank, and returns the merged result.
-func RunMD(cfg MDConfig) (*MDResult, error) {
+func RunMD(cfg MDConfig) (*MDResult, error) { return RunMDCheckpointed(cfg, Checkpoint{}) }
+
+// RunMDCheckpointed is RunMD with periodic snapshots and restart: with
+// ck.Dir set, all ranks are snapshotted every ck.Every steps, and ck.Restart
+// resumes from the newest valid snapshot, bit-identical to an uninterrupted
+// run. Optional faults (plus any in MDKMC_FAULT) are injected for recovery
+// testing.
+func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, faults ...Fault) (*MDResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	co, man, err := prepareCheckpoint(ck, cfg.Hash(), couple.StageMD, cfg.Ranks())
+	if err != nil {
+		return nil, err
+	}
+	envFaults, err := mpi.FaultsFromEnv()
+	if err != nil {
+		return nil, err
+	}
 	res := &MDResult{Atoms: cfg.NumAtoms(), Steps: cfg.Steps}
-	var ec errCapture
 	w := mpi.NewWorld(cfg.Ranks())
-	runErr := runRanks(w, &ec, func(c *mpi.Comm) {
+	w.InjectFault(faults...)
+	w.InjectFault(envFaults...)
+	runErr := w.RunE(func(c *mpi.Comm) error {
 		r, err := md.NewRank(cfg, c)
 		if err != nil {
-			ec.set(err)
-			panic(err)
+			return err
 		}
-		for i := 0; i < cfg.Steps; i++ {
+		start := 0
+		if man != nil {
+			rc, err := man.Open(c.Rank())
+			if err != nil {
+				return err
+			}
+			err = r.Restore(rc)
+			rc.Close()
+			if err != nil {
+				return err
+			}
+			start = man.Step
+		}
+		for i := start; i < cfg.Steps; i++ {
 			r.Step()
+			step := i + 1
+			if co.Due(step) && step < cfg.Steps {
+				if err := co.Snapshot(c, couple.StageMD, step, nil, r.Save); err != nil {
+					return err
+				}
+			}
+			c.FaultPoint(mpi.PointMDStep, step)
 		}
 		ke, pe := r.TotalEnergy()
 		temp := r.Temperature()
@@ -143,6 +183,7 @@ func RunMD(cfg MDConfig) (*MDResult, error) {
 			res.Comm = c.Stats
 			res.Clusters = cluster.Vacancies(r.L, sites, 2)
 		}
+		return nil
 	})
 	if runErr != nil {
 		return nil, runErr
@@ -166,23 +207,62 @@ type KMCResult struct {
 // RunKMC builds the in-process world for cfg.Grid and runs cycles KMC
 // cycles (or until tThreshold MC seconds if positive).
 func RunKMC(cfg KMCConfig, cycles int, tThreshold float64) (*KMCResult, error) {
+	return RunKMCCheckpointed(cfg, cycles, tThreshold, Checkpoint{})
+}
+
+// RunKMCCheckpointed is RunKMC with periodic snapshots and restart: with
+// ck.Dir set, all ranks are snapshotted every ck.Every cycles, and
+// ck.Restart resumes from the newest valid snapshot, bit-identical to an
+// uninterrupted run. Optional faults (plus any in MDKMC_FAULT) are injected
+// for recovery testing.
+func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkpoint, faults ...Fault) (*KMCResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if tThreshold <= 0 {
 		tThreshold = math.Inf(1)
 	}
+	// The stop conditions join the digest: resuming with a different bound
+	// is a different run.
+	hash := fmt.Sprintf("%s|cycles=%d|tthr=%v", cfg.Hash(), cycles, tThreshold)
+	co, man, err := prepareCheckpoint(ck, hash, couple.StageKMC, cfg.Ranks())
+	if err != nil {
+		return nil, err
+	}
+	envFaults, err := mpi.FaultsFromEnv()
+	if err != nil {
+		return nil, err
+	}
 	res := &KMCResult{Sites: cfg.NumSites()}
-	var ec errCapture
 	w := mpi.NewWorld(cfg.Ranks())
-	runErr := runRanks(w, &ec, func(c *mpi.Comm) {
+	w.InjectFault(faults...)
+	w.InjectFault(envFaults...)
+	runErr := w.RunE(func(c *mpi.Comm) error {
 		st, err := kmc.NewState(cfg, c)
 		if err != nil {
-			ec.set(err)
-			panic(err)
+			return err
 		}
-		events := st.Run(tThreshold, cycles)
-		tot := c.Allreduce(mpi.Sum, float64(events))
+		if man != nil {
+			rc, err := man.Open(c.Rank())
+			if err != nil {
+				return err
+			}
+			err = st.Restore(rc)
+			rc.Close()
+			if err != nil {
+				return err
+			}
+		}
+		for st.Time < tThreshold && st.Cycles < cycles {
+			st.Cycle()
+			if co.Due(st.Cycles) && st.Cycles < cycles {
+				if err := co.Snapshot(c, couple.StageKMC, st.Cycles, nil, st.Save); err != nil {
+					return err
+				}
+			}
+			c.FaultPoint(mpi.PointKMCCycle, st.Cycles)
+		}
+		tot := c.Allreduce(mpi.Sum, float64(st.Events))
 		vac := st.GlobalVacancyCount()
 		sites := gatherCoords(c, st.VacancySites())
 		if c.Rank() == 0 {
@@ -197,12 +277,17 @@ func RunKMC(cfg KMCConfig, cycles int, tThreshold float64) (*KMCResult, error) {
 			res.Comm = c.Stats
 			res.Clusters = cluster.Vacancies(st.L, sites, 2)
 		}
+		return nil
 	})
 	if runErr != nil {
 		return nil, runErr
 	}
 	return res, nil
 }
+
+// LatestCheckpoint returns the newest valid snapshot manifest under dir for
+// the configuration digest hash, or (nil, nil) when dir holds none.
+func LatestCheckpoint(dir, hash string) (*Manifest, error) { return couple.Latest(dir, hash) }
 
 // RunCoupled executes the full MD→KMC pipeline (paper §2).
 func RunCoupled(cfg CoupledConfig) (*CoupledResult, error) { return couple.Run(cfg) }

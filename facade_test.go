@@ -1,6 +1,7 @@
 package mdkmc_test
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -175,5 +176,104 @@ func TestAnalyzeAndRender(t *testing.T) {
 	img := mdkmc.RenderVacancies([3]int{6, 6, 6}, 2.855, sites, 20, 10)
 	if !strings.Contains(img, "1") && !strings.Contains(img, "2") {
 		t.Errorf("render shows no vacancies:\n%s", img)
+	}
+}
+
+// TestRunKMCCheckpointedRestart: the public single-stage checkpoint API —
+// crash a run with an injected fault, restart from the snapshot directory,
+// and get the uninterrupted run's numbers bit-exactly.
+func TestRunKMCCheckpointedRestart(t *testing.T) {
+	cfg := mdkmc.DefaultKMCConfig()
+	cfg.Cells = [3]int{12, 12, 12}
+	cfg.VacancyConcentration = 0.003
+	const cycles = 12
+
+	straight, err := mdkmc.RunKMC(cfg, cycles, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ck := mdkmc.Checkpoint{Dir: dir, Every: 4}
+	_, err = mdkmc.RunKMCCheckpointed(cfg, cycles, 0, ck,
+		mdkmc.Fault{Rank: 0, Point: mdkmc.FaultPointKMCCycle, Step: 9})
+	var inj mdkmc.InjectedFault
+	if !errors.As(err, &inj) {
+		t.Fatalf("crashed run returned %v, want the injected fault", err)
+	}
+
+	ck.Restart = true
+	resumed, err := mdkmc.RunKMCCheckpointed(cfg, cycles, 0, ck)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if resumed.Events != straight.Events || resumed.MCTime != straight.MCTime ||
+		resumed.Vacancies != straight.Vacancies {
+		t.Errorf("resumed (events=%d t=%v vac=%d) vs straight (events=%d t=%v vac=%d)",
+			resumed.Events, resumed.MCTime, resumed.Vacancies,
+			straight.Events, straight.MCTime, straight.Vacancies)
+	}
+	for i, s := range straight.VacancySites {
+		if resumed.VacancySites[i] != s {
+			t.Fatalf("vacancy site %d diverged: %+v vs %+v", i, resumed.VacancySites[i], s)
+		}
+	}
+}
+
+// TestRunMDCheckpointedRestart: same contract for the MD stage.
+func TestRunMDCheckpointedRestart(t *testing.T) {
+	cfg := mdkmc.DefaultMDConfig()
+	cfg.Cells = [3]int{8, 8, 8}
+	cfg.Steps = 30
+	cfg.Dt = 2e-4
+	cfg.Temperature = 300
+	cfg.TablePoints = 500
+	cfg.PKA = &mdkmc.PKA{Energy: 150}
+
+	straight, err := mdkmc.RunMD(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ck := mdkmc.Checkpoint{Dir: dir, Every: 10}
+	_, err = mdkmc.RunMDCheckpointed(cfg, ck,
+		mdkmc.Fault{Rank: 0, Point: mdkmc.FaultPointMDStep, Step: 25})
+	var inj mdkmc.InjectedFault
+	if !errors.As(err, &inj) {
+		t.Fatalf("crashed run returned %v, want the injected fault", err)
+	}
+
+	ck.Restart = true
+	resumed, err := mdkmc.RunMDCheckpointed(cfg, ck)
+	if err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+	if resumed.Kinetic != straight.Kinetic || resumed.Potential != straight.Potential ||
+		resumed.Vacancies != straight.Vacancies {
+		t.Errorf("resumed (ke=%v pe=%v vac=%d) vs straight (ke=%v pe=%v vac=%d)",
+			resumed.Kinetic, resumed.Potential, resumed.Vacancies,
+			straight.Kinetic, straight.Potential, straight.Vacancies)
+	}
+}
+
+// TestCheckpointedRejectsStageMismatch: an MD restart pointed at a KMC
+// snapshot directory must refuse up front.
+func TestCheckpointedRejectsStageMismatch(t *testing.T) {
+	kcfg := mdkmc.DefaultKMCConfig()
+	kcfg.Cells = [3]int{12, 12, 12}
+	kcfg.VacancyConcentration = 0.003
+	dir := t.TempDir()
+	if _, err := mdkmc.RunKMCCheckpointed(kcfg, 6, 0, mdkmc.Checkpoint{Dir: dir, Every: 3}); err != nil {
+		t.Fatal(err)
+	}
+	// The hashes differ between an MD and a KMC config, so the mismatch
+	// surfaces as a hash error — either way, a loud refusal.
+	mcfg := mdkmc.DefaultMDConfig()
+	mcfg.Cells = [3]int{8, 8, 8}
+	mcfg.Steps = 10
+	mcfg.TablePoints = 500
+	if _, err := mdkmc.RunMDCheckpointed(mcfg, mdkmc.Checkpoint{Dir: dir, Restart: true}); err == nil {
+		t.Fatal("MD restart from a KMC snapshot directory accepted")
 	}
 }

@@ -1,0 +1,23 @@
+package couple
+
+import "testing"
+
+// The cadence benchmarks quantify checkpoint overhead for EXPERIMENTS.md:
+// the same coupled run with snapshots every N steps/cycles versus none.
+func benchmarkCadence(b *testing.B, every int) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := coupledConfig()
+		if every > 0 {
+			cfg.Checkpoint = Checkpoint{Dir: b.TempDir(), Every: every}
+		}
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoupledNoCheckpoint(b *testing.B) { benchmarkCadence(b, 0) }
+func BenchmarkCoupledCadence25(b *testing.B)    { benchmarkCadence(b, 25) }
+func BenchmarkCoupledCadence10(b *testing.B)    { benchmarkCadence(b, 10) }
+func BenchmarkCoupledCadence5(b *testing.B)     { benchmarkCadence(b, 5) }

@@ -18,9 +18,13 @@ type checkpoint struct {
 	Rho     []float64
 	Time    float64
 	Cycles  int
+	Events  int
 }
 
-const checkpointVersion = 1
+// Version history: 1 carried (Occ, Rho, Time, Cycles); 2 adds the
+// cumulative per-rank event counter so a restarted run reports the same
+// total event count as an uninterrupted one.
+const checkpointVersion = 2
 
 // Save writes this rank's mutable state; call it at a cycle boundary (the
 // dirty set must be empty, which Cycle guarantees on return).
@@ -35,6 +39,7 @@ func (st *State) Save(w io.Writer) error {
 		Rho:     st.Rho,
 		Time:    st.Time,
 		Cycles:  st.Cycles,
+		Events:  st.Events,
 	})
 }
 
@@ -58,6 +63,7 @@ func (st *State) Restore(rd io.Reader) error {
 	copy(st.Rho, cp.Rho)
 	st.Time = cp.Time
 	st.Cycles = cp.Cycles
+	st.Events = cp.Events
 	// Rebuild the owned-vacancy index and the event-rate cache from the
 	// restored occupancy.
 	st.rebuildVacancyIndex()

@@ -73,3 +73,71 @@ func TestCheckpointRejectsWrongGeometry(t *testing.T) {
 		}
 	})
 }
+
+// TestCheckpointResumeIdenticalProtocols is the round-trip property on a
+// 2-rank decomposition under every ghost protocol: Save after 7 cycles,
+// Restore into fresh states, run 9 more — occupancies, clock, and the
+// cumulative event counter must match 16 straight cycles bit-exactly.
+func TestCheckpointResumeIdenticalProtocols(t *testing.T) {
+	for _, proto := range []Protocol{Traditional, OnDemand, OnDemandOneSided} {
+		t.Run(proto.String(), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Cells = [3]int{24, 12, 12}
+			cfg.Grid = [3]int{2, 1, 1}
+			cfg.Protocol = proto
+			ranks := cfg.Ranks()
+
+			straight := make([]map[int]uint8, ranks)
+			straightEvents := make([]int, ranks)
+			var straightTime float64
+			runWorld(t, cfg, func(st *State) {
+				for i := 0; i < 16; i++ {
+					st.Cycle()
+				}
+				r := st.Comm.Rank()
+				straight[r] = st.Snapshot()
+				straightEvents[r] = st.Events
+				if r == 0 {
+					straightTime = st.Time
+				}
+			})
+
+			blobs := make([]bytes.Buffer, ranks)
+			runWorld(t, cfg, func(st *State) {
+				for i := 0; i < 7; i++ {
+					st.Cycle()
+				}
+				if err := st.Save(&blobs[st.Comm.Rank()]); err != nil {
+					t.Errorf("save: %v", err)
+				}
+			})
+
+			runWorld(t, cfg, func(st *State) {
+				r := st.Comm.Rank()
+				if err := st.Restore(bytes.NewReader(blobs[r].Bytes())); err != nil {
+					t.Errorf("restore: %v", err)
+					return
+				}
+				for i := 0; i < 9; i++ {
+					st.Cycle()
+				}
+				if r == 0 && st.Time != straightTime {
+					t.Errorf("resumed time %v vs straight %v", st.Time, straightTime)
+				}
+				if st.Events != straightEvents[r] {
+					t.Errorf("rank %d resumed events %d vs straight %d", r, st.Events, straightEvents[r])
+				}
+				snap := st.Snapshot()
+				diff := 0
+				for k, v := range straight[r] {
+					if snap[k] != v {
+						diff++
+					}
+				}
+				if diff != 0 {
+					t.Errorf("rank %d resumed trajectory differs at %d sites", r, diff)
+				}
+			})
+		})
+	}
+}

@@ -9,6 +9,8 @@
 package kmc
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"mdkmc/internal/units"
@@ -131,6 +133,22 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("kmc: non-positive dt factor")
 	}
 	return nil
+}
+
+// Hash returns a short stable digest of every trajectory-determining
+// field. Checkpoint manifests record it so a restart with a diverging
+// configuration is refused instead of silently producing a different
+// trajectory. Protocol and FullRescan are excluded: both are documented
+// bit-identical knobs (DESIGN.md §7/§8), so a run may legally resume under
+// a different communication protocol or rescan mode. The explicit
+// Vacancies/CuSites lists are hashed in full — they seed the occupancy.
+func (c *Config) Hash() string {
+	s := fmt.Sprintf("kmc|cells=%v|grid=%v|a=%v|T=%v|nu=%v|em=%v|cv=%v|vac=%v|cuc=%v|cusites=%v|emcu=%v|seed=%d|dtf=%v",
+		c.Cells, c.Grid, c.A, c.Temperature, c.Nu, c.Em,
+		c.VacancyConcentration, c.Vacancies, c.CuConcentration, c.CuSites,
+		c.EmCu, c.Seed, c.DtFactor)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:8])
 }
 
 // Ranks returns the process count the configuration requires.

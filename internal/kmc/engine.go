@@ -110,12 +110,17 @@ func (st *State) Cycle() int {
 		// #6b: publish this sector's updates.
 		if st.Cfg.Protocol == Traditional {
 			st.exchangePutSector(sec)
+			// The dirty set only feeds the on-demand flush; the put band
+			// above already published these updates, so drop them — a
+			// populated set would wrongly trip Save's mid-sector guard.
+			clear(st.dirty)
 		} else {
 			st.flushOnDemand()
 		}
 	}
 	st.Time += dt
 	st.Cycles++
+	st.Events += events
 	return events
 }
 

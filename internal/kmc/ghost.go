@@ -34,12 +34,24 @@ type unpacker struct {
 	off int
 }
 
+// need guards every read: a truncated ghost message must fail as a
+// descriptive kmc error (which the mpi runtime converts into a RankPanic
+// the caller can report), not a raw slice-bounds panic.
+func (u *unpacker) need(n int, what string) {
+	if u.off+n > len(u.buf) {
+		panic(fmt.Errorf("kmc: truncated ghost message: need %d byte(s) for %s at offset %d of %d",
+			n, what, u.off, len(u.buf)))
+	}
+}
+
 func (u *unpacker) u8() uint8 {
+	u.need(1, "occupancy/basis byte")
 	v := u.buf[u.off]
 	u.off++
 	return v
 }
 func (u *unpacker) i32() int32 {
+	u.need(4, "coordinate word")
 	v := binary.LittleEndian.Uint32(u.buf[u.off:])
 	u.off += 4
 	return int32(v)
@@ -75,7 +87,8 @@ func (st *State) exchangeGetSector(sec int) {
 			st.setOcc(base+1, u.u8(), false)
 		}
 		if !u.done() {
-			panic("kmc: trailing bytes in sector ghost get")
+			panic(fmt.Errorf("kmc: %d trailing byte(s) in sector ghost get from rank %d",
+				len(u.buf)-u.off, peer))
 		}
 	}
 }
@@ -109,7 +122,8 @@ func (st *State) exchangePutSector(sec int) {
 			st.setOcc(base+1, u.u8(), false)
 		}
 		if !u.done() {
-			panic("kmc: trailing bytes in sector ghost put")
+			panic(fmt.Errorf("kmc: %d trailing byte(s) in sector ghost put from rank %d",
+				len(u.buf)-u.off, peer))
 		}
 	}
 }
@@ -148,6 +162,23 @@ func packDirty(p *packer, w lattice.Coord, occ uint8) {
 	p.u8(occ)
 }
 
+// applyDirty replays a peer's dirty-site message against the local halo.
+// Malformed input — a truncated record or a cell outside the local region —
+// fails with a descriptive kmc error rather than a raw runtime panic.
+func (st *State) applyDirty(data []byte, from int) {
+	u := unpacker{buf: data}
+	for !u.done() {
+		w := lattice.Coord{X: u.i32(), Y: u.i32(), Z: u.i32(), B: int8(u.u8())}
+		occ := u.u8()
+		key := st.cellKey(w.X, w.Y, w.Z)
+		base, ok := st.wrapped[key]
+		if !ok {
+			panic(fmt.Errorf("kmc: rank %d sent update for invisible cell %+v", from, w))
+		}
+		st.setOcc(base+int(w.B), occ, false)
+	}
+}
+
 // flushOnDemand implements the paper's on-demand communication strategy:
 // only the sites affected during the sector travel, to exactly the ranks
 // that can see them (Figure 8(d)).
@@ -174,20 +205,6 @@ func (st *State) flushOnDemand() {
 		}
 	}
 
-	apply := func(data []byte, from int) {
-		u := unpacker{buf: data}
-		for !u.done() {
-			w := lattice.Coord{X: u.i32(), Y: u.i32(), Z: u.i32(), B: int8(u.u8())}
-			occ := u.u8()
-			key := st.cellKey(w.X, w.Y, w.Z)
-			base, ok := st.wrapped[key]
-			if !ok {
-				panic(fmt.Sprintf("kmc: rank %d sent update for invisible cell %+v", from, w))
-			}
-			st.setOcc(base+int(w.B), occ, false)
-		}
-	}
-
 	switch st.Cfg.Protocol {
 	case OnDemand:
 		// Two-sided: a (possibly zero-size) message to every peer, because
@@ -203,7 +220,7 @@ func (st *State) flushOnDemand() {
 		for _, peer := range st.peers {
 			status := st.Comm.Probe(peer, tagKDirty)
 			data, _ := st.Comm.Recv(status.Source, status.Tag)
-			apply(data, peer)
+			st.applyDirty(data, peer)
 		}
 	case OnDemandOneSided:
 		// One-sided: only ranks with updates put; the fence synchronizes.
@@ -213,7 +230,7 @@ func (st *State) flushOnDemand() {
 			}
 		}
 		for _, m := range st.win.Fence() {
-			apply(m.Data, m.Source)
+			st.applyDirty(m.Data, m.Source)
 		}
 	default:
 		panic("kmc: flushOnDemand with traditional protocol")

@@ -1,0 +1,91 @@
+package kmc
+
+import (
+	"strings"
+	"testing"
+
+	"mdkmc/internal/lattice"
+)
+
+// wantKMCPanic runs fn and asserts it panics with an error whose message
+// carries the "kmc:" prefix and the given fragment — the contract malformed
+// ghost messages must honor (a raw slice-bounds panic would carry neither).
+func wantKMCPanic(t *testing.T, fragment string, fn func()) {
+	t.Helper()
+	defer func() {
+		p := recover()
+		if p == nil {
+			t.Fatalf("no panic for malformed input (want kmc error with %q)", fragment)
+		}
+		err, ok := p.(error)
+		if !ok {
+			t.Fatalf("panic value %v (%T) is not an error", p, p)
+		}
+		if !strings.HasPrefix(err.Error(), "kmc:") {
+			t.Errorf("error %q lacks the kmc: prefix", err)
+		}
+		if !strings.Contains(err.Error(), fragment) {
+			t.Errorf("error %q does not mention %q", err, fragment)
+		}
+	}()
+	fn()
+}
+
+// TestUnpackerTruncatedMessage: reads past the buffer end must fail with a
+// descriptive kmc error, for every partial prefix of a dirty record.
+func TestUnpackerTruncatedMessage(t *testing.T) {
+	// A full dirty record is 14 bytes (3×i32 + basis + occupancy); every
+	// strict prefix is a truncation.
+	var p packer
+	p.i32(3)
+	p.i32(4)
+	p.i32(5)
+	p.u8(0)
+	p.u8(Vacant)
+	for cut := 1; cut < len(p.buf); cut++ {
+		u := unpacker{buf: p.buf[:cut]}
+		wantKMCPanic(t, "truncated ghost message", func() {
+			for !u.done() {
+				u.i32()
+				u.i32()
+				u.i32()
+				u.u8()
+				u.u8()
+			}
+		})
+	}
+}
+
+// TestApplyDirtyTruncated: the on-demand receive path rejects a truncated
+// wire message with a kmc error instead of a slice-bounds panic.
+func TestApplyDirtyTruncated(t *testing.T) {
+	cfg := testConfig()
+	runWorld(t, cfg, func(st *State) {
+		var p packer
+		packDirty(&p, st.L.Wrap(st.Box.GlobalCoord(0)), Vacant)
+		wantKMCPanic(t, "truncated ghost message", func() {
+			st.applyDirty(p.buf[:len(p.buf)-1], 0)
+		})
+	})
+}
+
+// TestApplyDirtyInvisibleCell: structurally valid records that reference
+// cells outside the receiver's region are rejected descriptively too.
+func TestApplyDirtyInvisibleCell(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cells = [3]int{28, 12, 12}
+	cfg.Grid = [3]int{2, 1, 1}
+	runWorld(t, cfg, func(st *State) {
+		if st.Comm.Rank() != 0 {
+			return
+		}
+		// Rank 0 owns x ∈ [0,14) plus a 5-cell ghost halo on each side; the
+		// slab around x=20 lies deep in rank 1's interior, beyond both the
+		// halo and its periodic images, so it is invisible here.
+		var p packer
+		packDirty(&p, lattice.Coord{X: 20, Y: 6, Z: 6}, Vacant)
+		wantKMCPanic(t, "invisible cell", func() {
+			st.applyDirty(p.buf, 1)
+		})
+	})
+}

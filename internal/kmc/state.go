@@ -29,6 +29,7 @@ type State struct {
 
 	Time   float64 // accumulated MC time (s)
 	Cycles int
+	Events int // cumulative events executed on this rank (checkpointed)
 
 	en     energetics
 	kBT    float64

@@ -117,3 +117,81 @@ func TestCheckpointRejectsWrongGeometry(t *testing.T) {
 		}
 	})
 }
+
+// TestCheckpointResumeIdenticalParallel is the round-trip property under a
+// 2-rank decomposition with a multi-worker force pool: Save after 20 steps,
+// Restore into fresh ranks, run 20 more — bit-identical to 40 straight
+// steps. Workers is a documented bit-identical knob, so the resumed world
+// deliberately uses a different count than the saver.
+func TestCheckpointResumeIdenticalParallel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 600
+	cfg.Cells = [3]int{12, 6, 6}
+	cfg.Grid = [3]int{2, 1, 1}
+	cfg.Workers = 3
+
+	positions := func(r *Rank) map[int64]vec.V {
+		out := make(map[int64]vec.V)
+		r.Box.EachOwned(func(_ lattice.Coord, local int) {
+			if !r.Store.IsVacancy(local) {
+				out[r.Store.ID[local]] = r.Store.R[local]
+			}
+			r.Store.EachRunaway(local, func(_ int32, a *neighbor.Runaway) {
+				out[a.ID] = a.R
+			})
+		})
+		return out
+	}
+	merge := func(perRank []map[int64]vec.V) map[int64]vec.V {
+		out := make(map[int64]vec.V)
+		for _, m := range perRank {
+			for id, p := range m {
+				out[id] = p
+			}
+		}
+		return out
+	}
+
+	ranks := cfg.Ranks()
+	straightPer := make([]map[int64]vec.V, ranks)
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 40; i++ {
+			r.Step()
+		}
+		straightPer[r.Comm.Rank()] = positions(r)
+	})
+
+	blobs := make([]bytes.Buffer, ranks)
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			r.Step()
+		}
+		if err := r.Save(&blobs[r.Comm.Rank()]); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+
+	resumedPer := make([]map[int64]vec.V, ranks)
+	resumedCfg := cfg
+	resumedCfg.Workers = 2 // different pool size must not change the bits
+	runWorld(t, resumedCfg, func(r *Rank) {
+		if err := r.Restore(bytes.NewReader(blobs[r.Comm.Rank()].Bytes())); err != nil {
+			t.Errorf("restore: %v", err)
+			return
+		}
+		for i := 0; i < 20; i++ {
+			r.Step()
+		}
+		resumedPer[r.Comm.Rank()] = positions(r)
+	})
+
+	straight, resumed := merge(straightPer), merge(resumedPer)
+	if len(resumed) != len(straight) {
+		t.Fatalf("atom counts differ: %d vs %d", len(resumed), len(straight))
+	}
+	for id, p := range straight {
+		if resumed[id] != p {
+			t.Fatalf("atom %d diverged after parallel resume: %v vs %v", id, resumed[id], p)
+		}
+	}
+}

@@ -7,6 +7,8 @@
 package md
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 
 	"mdkmc/internal/eam"
@@ -135,6 +137,28 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("md: copper substitution requires an iron host")
 	}
 	return nil
+}
+
+// Hash returns a short stable digest of every trajectory-determining
+// field. Checkpoint manifests record it so a restart with a diverging
+// configuration is refused instead of silently producing a different
+// trajectory. Workers is excluded: the force pool is a documented
+// bit-identical knob (DESIGN.md §9), so a run may legally resume with a
+// different worker count.
+func (c *Config) Hash() string {
+	pka := "nil"
+	if c.PKA != nil {
+		pka = fmt.Sprintf("%+v", *c.PKA)
+	}
+	th := "nil"
+	if c.Thermostat != nil {
+		th = fmt.Sprintf("%+v", *c.Thermostat)
+	}
+	s := fmt.Sprintf("md|cells=%v|grid=%v|a=%v|sp=%d|cu=%v|T=%v|dt=%v|steps=%d|seed=%d|mode=%d|pts=%d|skin=%v|pka=%s|thermo=%s",
+		c.Cells, c.Grid, c.A, c.Species, c.CuFraction, c.Temperature, c.Dt,
+		c.Steps, c.Seed, c.Mode, c.TablePoints, c.Skin, pka, th)
+	sum := sha256.Sum256([]byte(s))
+	return hex.EncodeToString(sum[:8])
 }
 
 // Ranks returns the number of processes the configuration requires.

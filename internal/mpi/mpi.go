@@ -20,6 +20,9 @@ package mpi
 
 import (
 	"fmt"
+	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 )
@@ -92,6 +95,11 @@ type World struct {
 	// it in its wait loop so survivors unwind instead of waiting forever on
 	// a rank that no longer exists.
 	aborted atomic.Bool
+
+	// faults is the injected-failure plan. It is written only before Run
+	// starts (InjectFault) and read concurrently by every rank's FaultPoint
+	// checks, so no lock is needed.
+	faults []Fault
 }
 
 // errAborted is the panic value used to unwind ranks blocked in Recv, Probe,
@@ -180,11 +188,155 @@ func (w *World) Run(fn func(c *Comm)) {
 	}
 }
 
+// RunE executes fn on every rank concurrently and converts rank failures
+// into an ordinary error: a rank that returns a non-nil error aborts the
+// world (survivors blocked in Recv, Probe, or a collective are woken and
+// unwound) and the first recorded error — from whichever rank — is
+// returned. A rank that panics instead of returning yields the RankPanic
+// itself as the error, so injected faults and internal invariant failures
+// surface through the same path.
+func (w *World) RunE(fn func(c *Comm) error) (err error) {
+	var mu sync.Mutex
+	var first error
+	record := func(e error) {
+		mu.Lock()
+		if first == nil {
+			first = e
+		}
+		mu.Unlock()
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			mu.Lock()
+			e := first
+			mu.Unlock()
+			if e != nil {
+				err = e
+				return
+			}
+			if rp, ok := p.(RankPanic); ok {
+				err = rp
+				return
+			}
+			panic(p) // not a rank failure; do not swallow
+		}
+	}()
+	w.Run(func(c *Comm) {
+		if e := fn(c); e != nil {
+			record(e)
+			panic(e)
+		}
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	return first
+}
+
+// Fault names one injected failure for testing recovery paths: rank Rank
+// panics with an InjectedFault when it reaches fault point Point with
+// counter value Step. Register faults with World.InjectFault before Run.
+type Fault struct {
+	Rank  int
+	Point string
+	Step  int
+}
+
+func (f Fault) String() string { return fmt.Sprintf("%s:%d:%d", f.Point, f.Rank, f.Step) }
+
+// Fault-point names checked by the simulation drivers. FaultPoint accepts
+// any string; these are the points the couple/facade run loops arm.
+const (
+	// PointMDStep fires after completing the given 1-based MD step.
+	PointMDStep = "md-step"
+	// PointKMCCycle fires after completing the given KMC cycle (st.Cycles).
+	PointKMCCycle = "kmc-cycle"
+	// PointCheckpointCommit fires on rank 0 after the per-rank snapshot
+	// files are written but before the manifest rename commits them — the
+	// window the atomic-commit guarantee protects.
+	PointCheckpointCommit = "checkpoint-commit"
+)
+
+// EnvFault is the environment variable holding a comma-separated fault
+// plan ("point:rank:step[,point:rank:step...]") applied by the run drivers.
+const EnvFault = "MDKMC_FAULT"
+
+// InjectedFault is the panic value of a triggered fault. World.Run re-wraps
+// it in a RankPanic, so callers can errors.As through both layers.
+type InjectedFault struct {
+	Rank  int
+	Point string
+	Step  int
+}
+
+func (f InjectedFault) Error() string {
+	return fmt.Sprintf("mpi: injected fault on rank %d at %s %d", f.Rank, f.Point, f.Step)
+}
+
+// ParseFault parses "point:rank:step".
+func ParseFault(s string) (Fault, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return Fault{}, fmt.Errorf("mpi: fault %q not in point:rank:step form", s)
+	}
+	rank, err := strconv.Atoi(parts[1])
+	if err != nil || rank < 0 {
+		return Fault{}, fmt.Errorf("mpi: fault %q has invalid rank", s)
+	}
+	step, err := strconv.Atoi(parts[2])
+	if err != nil || step < 0 {
+		return Fault{}, fmt.Errorf("mpi: fault %q has invalid step", s)
+	}
+	if parts[0] == "" {
+		return Fault{}, fmt.Errorf("mpi: fault %q has empty point", s)
+	}
+	return Fault{Rank: rank, Point: parts[0], Step: step}, nil
+}
+
+// ParseFaults parses a comma-separated fault list; empty input is an empty
+// plan.
+func ParseFaults(s string) ([]Fault, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	var out []Fault
+	for _, item := range strings.Split(s, ",") {
+		f, err := ParseFault(strings.TrimSpace(item))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// FaultsFromEnv parses the EnvFault variable into a fault plan.
+func FaultsFromEnv() ([]Fault, error) {
+	return ParseFaults(os.Getenv(EnvFault))
+}
+
+// InjectFault registers faults on the world. It must be called before Run:
+// the plan is immutable once ranks are executing.
+func (w *World) InjectFault(faults ...Fault) {
+	w.faults = append(w.faults, faults...)
+}
+
 // Comm is one rank's endpoint.
 type Comm struct {
 	world *World
 	rank  int
 	Stats Stats
+}
+
+// FaultPoint panics with an InjectedFault if the world's fault plan arms
+// (point, step) on this rank; otherwise it is a no-op. Drivers call it at
+// step/cycle boundaries so tests can kill a chosen rank at a chosen point
+// and exercise recovery in-process.
+func (c *Comm) FaultPoint(point string, step int) {
+	for _, f := range c.world.faults {
+		if f.Rank == c.rank && f.Point == point && f.Step == step {
+			panic(InjectedFault{Rank: c.rank, Point: point, Step: step})
+		}
+	}
 }
 
 // Rank returns this endpoint's rank.

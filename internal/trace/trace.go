@@ -31,10 +31,18 @@ func NewXYZWriter(w io.Writer, box vec.V) *XYZWriter {
 	return &XYZWriter{w: bufio.NewWriter(w), box: box}
 }
 
-// WriteFrame emits one frame with the given comment tag.
+// WriteFrame emits one frame with the given comment tag. Atom symbols must
+// be free of whitespace — an embedded space or newline would silently shift
+// every later column of the frame — and are validated up front so a rejected
+// frame leaves nothing half-written in the stream.
 func (x *XYZWriter) WriteFrame(tag string, atoms []Atom) error {
 	if strings.ContainsAny(tag, "\n\r") {
 		return fmt.Errorf("trace: frame tag contains newline")
+	}
+	for i, a := range atoms {
+		if strings.ContainsAny(a.Symbol, " \t\n\r\v\f") {
+			return fmt.Errorf("trace: atom %d symbol %q contains whitespace", i, a.Symbol)
+		}
 	}
 	fmt.Fprintf(x.w, "%d\n", len(atoms))
 	fmt.Fprintf(x.w, `Lattice="%g 0 0 0 %g 0 0 0 %g" Properties=species:S:1:pos:R:3 %s`+"\n",
@@ -46,6 +54,8 @@ func (x *XYZWriter) WriteFrame(tag string, atoms []Atom) error {
 		}
 		fmt.Fprintf(x.w, "%s %.8f %.8f %.8f\n", sym, a.Pos.X, a.Pos.Y, a.Pos.Z)
 	}
+	// bufio's error is sticky: the first short write of any Fprintf above
+	// (their results are deliberately unchecked) resurfaces here.
 	return x.w.Flush()
 }
 

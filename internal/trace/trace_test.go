@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -96,5 +97,69 @@ func TestCSVValidation(t *testing.T) {
 	}
 	if _, err := NewCSVWriter(&sb, "a,b"); err == nil {
 		t.Errorf("comma header accepted")
+	}
+}
+
+// TestXYZRejectsWhitespaceSymbol: an embedded space or newline in a symbol
+// would shift every later column of the frame; the writer must refuse the
+// whole frame before emitting anything.
+func TestXYZRejectsWhitespaceSymbol(t *testing.T) {
+	for _, sym := range []string{"F e", "Fe\n", "Fe\t", "\rV"} {
+		var sb strings.Builder
+		x := NewXYZWriter(&sb, vec.V{X: 1, Y: 1, Z: 1})
+		err := x.WriteFrame("f", []Atom{{Symbol: "Fe"}, {Symbol: sym}})
+		if err == nil {
+			t.Errorf("symbol %q accepted", sym)
+		}
+		if sb.Len() != 0 {
+			t.Errorf("rejected frame with symbol %q left %d bytes in the stream", sym, sb.Len())
+		}
+	}
+}
+
+// failingWriter errors after n bytes, exercising the sticky bufio error path
+// behind the unchecked Fprintf calls.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	if len(p) > f.n {
+		n := f.n
+		f.n = 0
+		return n, fmt.Errorf("disk full")
+	}
+	f.n -= len(p)
+	return len(p), nil
+}
+
+// TestXYZSurfacesWriteError: a short write under any of the frame's Fprintf
+// calls must surface from WriteFrame, not vanish.
+func TestXYZSurfacesWriteError(t *testing.T) {
+	// Large frame to overflow bufio's 4KiB default buffer mid-frame.
+	atoms := make([]Atom, 200)
+	for i := range atoms {
+		atoms[i] = Atom{Symbol: "Fe", Pos: vec.V{X: 1.25, Y: 2.5, Z: 3.75}}
+	}
+	for _, budget := range []int{0, 10, 5000} {
+		x := NewXYZWriter(&failingWriter{n: budget}, vec.V{X: 1, Y: 1, Z: 1})
+		if err := x.WriteFrame("f", atoms); err == nil {
+			t.Errorf("write error with %d-byte budget not surfaced", budget)
+		}
+	}
+}
+
+// TestCSVSurfacesWriteError: same contract for the CSV paths.
+func TestCSVSurfacesWriteError(t *testing.T) {
+	if _, err := NewCSVWriter(&failingWriter{}, "a", "b"); err == nil {
+		t.Error("header write error not surfaced")
+	}
+	c, err := NewCSVWriter(&failingWriter{n: 4}, "a", "b")
+	if err != nil {
+		t.Fatalf("header within budget failed: %v", err)
+	}
+	if err := c.Row(1, 2); err == nil {
+		t.Error("row write error not surfaced")
 	}
 }
