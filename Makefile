@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check build test vet race recovery bench-kmc bench-md fuzz-setfl figures
+.PHONY: check build test vet race recovery bench-kmc bench-md bench-json smoke smoke-telemetry fuzz-setfl figures
 
 check: vet build race
 
@@ -24,7 +24,7 @@ test:
 # recovery tests exercise the rank-abort paths across goroutines. The full
 # suite then runs under -race as well.
 race:
-	$(GO) test -race -count=1 ./internal/md ./internal/mpi ./internal/couple
+	$(GO) test -race -count=1 ./internal/md ./internal/mpi ./internal/couple ./internal/telemetry
 	$(GO) test -race ./...
 
 # The fault-injection recovery gate on its own: crash a coupled run at an
@@ -40,6 +40,25 @@ bench-kmc:
 # The serial-vs-pooled MD step contrast on a 20^3 box (EXPERIMENTS.md).
 bench-md:
 	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x ./internal/md
+
+# Machine-readable benchmark artifacts (EXPERIMENTS.md): each family runs
+# once and its `go test -bench` output is converted to JSON by cmd/benchjson.
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x ./internal/md | $(GO) run ./cmd/benchjson -out BENCH_md.json
+	$(GO) test -run '^$$' -bench 'BenchmarkKMCCycle' -benchtime 20x . | $(GO) run ./cmd/benchjson -out BENCH_kmc.json
+	$(GO) test -run '^$$' -bench 'BenchmarkCoupled' -benchtime 1x ./internal/couple | $(GO) run ./cmd/benchjson -out BENCH_couple.json
+
+# Every example must run to completion (CI smoke gate).
+smoke:
+	set -e; for d in examples/*/; do echo "== $$d"; $(GO) run ./$$d > /dev/null; done
+
+# End-to-end telemetry smoke: a 2-rank coupled run writes a JSONL metrics
+# stream, then benchjson -check validates it (every line parses, exactly one
+# report, the promised phase spans and comm counters all present).
+smoke-telemetry:
+	$(GO) run ./cmd/mdkmc -cells 12 -gx 2 -md-steps 60 -kmc-cycles 10 -metrics-every 20 -metrics-out /tmp/mdkmc-metrics.jsonl > /dev/null
+	$(GO) run ./cmd/benchjson -check /tmp/mdkmc-metrics.jsonl -require md/step,md/force,md/ghost/pos/pack,kmc/cycle,kmc/sector,couple/md-stage,couple/kmc-stage,mpi/msgs-sent,mpi/bytes-sent,mpi/bytes-recv
+	rm -f /tmp/mdkmc-metrics.jsonl
 
 # Short fuzz pass over the setfl potential parser (seeds always run in
 # plain `go test`; this explores further).

@@ -1,0 +1,213 @@
+// Command benchjson turns `go test -bench` output into a machine-readable
+// JSON document (the `make bench-json` artifacts), and doubles as the CI
+// validator for telemetry JSONL files written by the -metrics-out flag.
+//
+// Usage:
+//
+//	go test -run '^$' -bench BenchmarkMDStep ./internal/md | benchjson -out BENCH_md.json
+//	benchjson -check run.jsonl -require md/force,kmc/sector,mpi/bytes-sent
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchmark is one parsed benchmark result line.
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"` // "ns/op", "B/op", custom units
+}
+
+// document is the full parse of one `go test -bench` run.
+type document struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the parsed benchmark JSON here (default stdout)")
+	check := flag.String("check", "", "validate a telemetry JSONL file instead of parsing benchmarks")
+	require := flag.String("require", "", "comma-separated metric names the JSONL report must contain (with -check)")
+	flag.Parse()
+
+	if *check != "" {
+		if err := checkJSONL(*check, splitList(*require)); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		return
+	}
+
+	doc, err := parseBench(os.Stdin)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		log.Fatal("benchjson: no benchmark result lines on stdin")
+	}
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if *out != "" {
+		fmt.Printf("benchjson: %d benchmark(s) -> %s\n", len(doc.Benchmarks), *out)
+	}
+}
+
+func splitList(s string) []string {
+	var names []string
+	for _, n := range strings.Split(s, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names
+}
+
+// parseBench reads `go test -bench` text and extracts the header metadata
+// plus every "BenchmarkX  N  V unit  V unit ..." result line. Non-benchmark
+// lines (test chatter, PASS/ok) pass through untouched.
+func parseBench(r io.Reader) (*document, error) {
+	doc := &document{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		for _, h := range []struct {
+			prefix string
+			dst    *string
+		}{
+			{"goos: ", &doc.Goos}, {"goarch: ", &doc.Goarch},
+			{"pkg: ", &doc.Pkg}, {"cpu: ", &doc.CPU},
+		} {
+			if strings.HasPrefix(line, h.prefix) {
+				*h.dst = strings.TrimPrefix(line, h.prefix)
+			}
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := benchmark{Name: fields[0], Iterations: iters, Metrics: map[string]float64{}}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			b.Metrics[fields[i+1]] = v
+		}
+		if ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return doc, sc.Err()
+}
+
+// jsonlLine mirrors the telemetry wire format closely enough to validate it.
+type jsonlLine struct {
+	Type    string `json:"type"`
+	Rank    *int   `json:"rank,omitempty"`
+	Ranks   int    `json:"ranks,omitempty"`
+	Metrics []struct {
+		Name string `json:"name"`
+		Kind string `json:"kind"`
+	} `json:"metrics"`
+}
+
+// checkJSONL validates a -metrics-out file: every line is JSON of type
+// "snapshot" or "report", at least one snapshot per rank and exactly one
+// final report exist, and the report carries every required metric name.
+func checkJSONL(path string, required []string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	var snapshots, reports, lineNo int
+	ranks := map[int]bool{}
+	reportNames := map[string]bool{}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<22), 1<<22)
+	for sc.Scan() {
+		lineNo++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" {
+			continue
+		}
+		var line jsonlLine
+		if err := json.Unmarshal([]byte(raw), &line); err != nil {
+			return fmt.Errorf("%s:%d: not valid JSON: %v", path, lineNo, err)
+		}
+		switch line.Type {
+		case "snapshot":
+			snapshots++
+			if line.Rank == nil {
+				return fmt.Errorf("%s:%d: snapshot line without a rank", path, lineNo)
+			}
+			ranks[*line.Rank] = true
+		case "report":
+			reports++
+			if line.Ranks <= 0 {
+				return fmt.Errorf("%s:%d: report line with ranks=%d", path, lineNo, line.Ranks)
+			}
+			for _, m := range line.Metrics {
+				reportNames[m.Name] = true
+			}
+		default:
+			return fmt.Errorf("%s:%d: unknown line type %q", path, lineNo, line.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if snapshots == 0 {
+		return fmt.Errorf("%s: no snapshot lines", path)
+	}
+	if reports != 1 {
+		return fmt.Errorf("%s: want exactly 1 report line, got %d", path, reports)
+	}
+	var missing []string
+	for _, name := range required {
+		if !reportNames[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%s: report is missing required metric(s): %s",
+			path, strings.Join(missing, ", "))
+	}
+	fmt.Printf("benchjson: %s ok (%d snapshot line(s) over %d rank(s), %d report metric(s))\n",
+		path, snapshots, len(ranks), len(reportNames))
+	return nil
+}

@@ -29,10 +29,24 @@ import (
 	"mdkmc/internal/perf"
 )
 
+// telOpts configures telemetry for the coupled measured runs (fig16/fig17).
+// Populated from the -metrics* flags in main.
+var telOpts mdkmc.TelemetryOptions
+
 func main() {
 	figFlag := flag.Int("fig", 0, "figure number to regenerate (0 = all)")
 	quick := flag.Bool("quick", false, "smaller measured runs")
+	metrics := flag.Bool("metrics", false, "collect runtime telemetry on the coupled runs (fig 16/17) and print per-phase reports")
+	metricsOut := flag.String("metrics-out", "", "write telemetry snapshots and reports as JSONL (implies -metrics; last coupled run wins)")
+	metricsAddr := flag.String("metrics-addr", "", "serve a Prometheus-style text exposition on ADDR/metrics (implies -metrics)")
+	metricsEvery := flag.Int("metrics-every", 0, "periodic JSONL flush cadence in MD steps / KMC cycles (0 = final only)")
 	flag.Parse()
+	telOpts = mdkmc.TelemetryOptions{
+		Enabled:    *metrics || *metricsOut != "" || *metricsAddr != "",
+		JSONLPath:  *metricsOut,
+		FlushEvery: *metricsEvery,
+		HTTPAddr:   *metricsAddr,
+	}
 
 	figs := map[int]func(bool){
 		9: fig9, 10: fig10, 11: fig11, 12: fig12, 13: fig13,
@@ -186,11 +200,11 @@ func measureMD(cells, grid [3]int, steps int) (float64, int64) {
 		if err != nil {
 			log.Fatalf("md measurement setup (%v cells, %v grid): %v", cells, grid, err)
 		}
-		before := c.Stats.BytesSent
+		before := c.Stats().BytesSent
 		for i := 0; i < steps; i++ {
 			rank.Step()
 		}
-		bytes[c.Rank()] = c.Stats.BytesSent - before
+		bytes[c.Rank()] = c.Stats().BytesSent - before
 	})
 	var total int64
 	for _, b := range bytes {
@@ -355,9 +369,11 @@ func fig16(quick bool) {
 			}(),
 			KMCCycles: 10,
 			Protocol:  kmc.OnDemand,
+			Telemetry: telOpts,
 		}
 		start := time.Now()
-		if _, err := mdkmc.RunCoupled(cfg); err != nil {
+		res, err := mdkmc.RunCoupled(cfg)
+		if err != nil {
 			log.Fatalf("fig16: coupled run: %v", err)
 		}
 		ranks := g[0] * g[1] * g[2]
@@ -366,6 +382,9 @@ func fig16(quick bool) {
 			base = perRank
 		}
 		fmt.Printf("  ranks %2d: wall/rank %7.3fs (eff %5.1f%%)\n", ranks, perRank, 100*base/perRank)
+		if res.Telemetry != nil {
+			fmt.Print(res.Telemetry)
+		}
 	}
 	fmt.Println("\nmodel at paper scale:")
 	fmt.Print(perf.FormatSeries("  (97,500 -> 6,240,000 cores)", perf.Fig16CoupledWeak()))
@@ -391,11 +410,16 @@ func fig17(quick bool) {
 		MD:        mcfg,
 		KMCCycles: kmcCycles,
 		Protocol:  kmc.OnDemand,
+		Telemetry: telOpts,
 	})
 	if err != nil {
 		log.Fatalf("fig17: coupled run: %v", err)
 	}
 	fmt.Println(res)
+	if res.Telemetry != nil {
+		fmt.Println()
+		fmt.Print(res.Telemetry)
+	}
 	fmt.Println("\n(a) after MD — dispersive:")
 	fmt.Print(mdkmc.RenderVacancies(mcfg.Cells, mcfg.A, res.BeforeSites, 60, 20))
 	fmt.Println("\n(b) after KMC — clustering:")

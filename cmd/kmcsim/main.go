@@ -33,12 +33,23 @@ func main() {
 		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
 		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
 		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: kmc-cycle, checkpoint-commit)")
+
+		metrics      = flag.Bool("metrics", false, "collect runtime telemetry and print the per-phase report")
+		metricsOut   = flag.String("metrics-out", "", "write telemetry snapshots and the final report as JSONL (implies -metrics)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve a Prometheus-style text exposition on ADDR/metrics (implies -metrics)")
+		metricsEvery = flag.Int("metrics-every", 0, "periodic JSONL flush cadence in KMC cycles (0 = final only)")
 	)
 	flag.Parse()
 
 	faults, err := mdkmc.ParseFaults(*faultSpec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	tel := mdkmc.TelemetryOptions{
+		Enabled:    *metrics || *metricsOut != "" || *metricsAddr != "",
+		JSONLPath:  *metricsOut,
+		FlushEvery: *metricsEvery,
+		HTTPAddr:   *metricsAddr,
 	}
 
 	cfg := mdkmc.DefaultKMCConfig()
@@ -64,7 +75,7 @@ func main() {
 		Every:   *ckptEvery,
 		Keep:    *ckptKeep,
 		Restart: *restart,
-	}, faults...)
+	}, mdkmc.WithFaults(faults...), mdkmc.WithTelemetry(tel))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -79,4 +90,8 @@ func main() {
 	fmt.Printf("clusters     %v\n", res.Clusters)
 	fmt.Println("\nvacancy map (XY projection):")
 	fmt.Print(mdkmc.RenderVacancies(cfg.Cells, cfg.A, res.VacancySites, 60, 24))
+	if res.Telemetry != nil {
+		fmt.Println()
+		fmt.Print(res.Telemetry)
+	}
 }

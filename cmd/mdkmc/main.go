@@ -33,12 +33,23 @@ func main() {
 		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
 		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
 		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, kmc-cycle, checkpoint-commit)")
+
+		metrics      = flag.Bool("metrics", false, "collect runtime telemetry and print the per-phase report")
+		metricsOut   = flag.String("metrics-out", "", "write telemetry snapshots and the final report as JSONL (implies -metrics)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve a Prometheus-style text exposition on ADDR/metrics (implies -metrics)")
+		metricsEvery = flag.Int("metrics-every", 0, "periodic JSONL flush cadence in MD steps / KMC cycles (0 = final only)")
 	)
 	flag.Parse()
 
 	faults, err := mdkmc.ParseFaults(*faultSpec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	tel := mdkmc.TelemetryOptions{
+		Enabled:    *metrics || *metricsOut != "" || *metricsAddr != "",
+		JSONLPath:  *metricsOut,
+		FlushEvery: *metricsEvery,
+		HTTPAddr:   *metricsAddr,
 	}
 
 	mcfg := mdkmc.DefaultMDConfig()
@@ -60,12 +71,17 @@ func main() {
 			Keep:    *ckptKeep,
 			Restart: *restart,
 		},
-		Faults: faults,
+		Faults:    faults,
+		Telemetry: tel,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println(res)
+	if res.Telemetry != nil {
+		fmt.Println()
+		fmt.Print(res.Telemetry)
+	}
 	fmt.Println("\nvacancies after MD (dispersive):")
 	fmt.Print(mdkmc.RenderVacancies(mcfg.Cells, mcfg.A, res.BeforeSites, 60, 22))
 	fmt.Println("\nvacancies after KMC (clustering):")

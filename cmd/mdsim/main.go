@@ -18,14 +18,14 @@ import (
 
 func main() {
 	var (
-		cells = flag.Int("cells", 10, "unit cells per dimension")
-		gx    = flag.Int("gx", 1, "process grid x")
-		gy    = flag.Int("gy", 1, "process grid y")
-		gz    = flag.Int("gz", 1, "process grid z")
-		steps = flag.Int("steps", 200, "MD steps")
-		dt    = flag.Float64("dt", 0.001, "time step in ps (paper: 0.001 = 1 fs)")
-		temp  = flag.Float64("temp", 600, "initial temperature in K")
-		pka   = flag.Float64("pka", 0, "primary knock-on atom energy in eV (0 = no cascade)")
+		cells   = flag.Int("cells", 10, "unit cells per dimension")
+		gx      = flag.Int("gx", 1, "process grid x")
+		gy      = flag.Int("gy", 1, "process grid y")
+		gz      = flag.Int("gz", 1, "process grid z")
+		steps   = flag.Int("steps", 200, "MD steps")
+		dt      = flag.Float64("dt", 0.001, "time step in ps (paper: 0.001 = 1 fs)")
+		temp    = flag.Float64("temp", 600, "initial temperature in K")
+		pka     = flag.Float64("pka", 0, "primary knock-on atom energy in eV (0 = no cascade)")
 		seed    = flag.Uint64("seed", 1, "random seed")
 		mode    = flag.String("tables", "compacted", "potential evaluation: analytic|compacted|traditional")
 		workers = flag.Int("workers", 0, "force-pass worker goroutines per rank (0 = GOMAXPROCS, 1 = serial reference)")
@@ -35,12 +35,23 @@ func main() {
 		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
 		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
 		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, checkpoint-commit)")
+
+		metrics      = flag.Bool("metrics", false, "collect runtime telemetry and print the per-phase report")
+		metricsOut   = flag.String("metrics-out", "", "write telemetry snapshots and the final report as JSONL (implies -metrics)")
+		metricsAddr  = flag.String("metrics-addr", "", "serve a Prometheus-style text exposition on ADDR/metrics (implies -metrics)")
+		metricsEvery = flag.Int("metrics-every", 0, "periodic JSONL flush cadence in MD steps (0 = final only)")
 	)
 	flag.Parse()
 
 	faults, err := mdkmc.ParseFaults(*faultSpec)
 	if err != nil {
 		log.Fatal(err)
+	}
+	tel := mdkmc.TelemetryOptions{
+		Enabled:    *metrics || *metricsOut != "" || *metricsAddr != "",
+		JSONLPath:  *metricsOut,
+		FlushEvery: *metricsEvery,
+		HTTPAddr:   *metricsAddr,
 	}
 
 	cfg := mdkmc.DefaultMDConfig()
@@ -71,7 +82,7 @@ func main() {
 		Every:   *ckptEvery,
 		Keep:    *ckptKeep,
 		Restart: *restart,
-	}, faults...)
+	}, mdkmc.WithFaults(faults...), mdkmc.WithTelemetry(tel))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -87,5 +98,9 @@ func main() {
 		fmt.Printf("clusters     %v\n", res.Clusters)
 		fmt.Println("\nvacancy map (XY projection):")
 		fmt.Print(mdkmc.RenderVacancies(cfg.Cells, cfg.A, res.VacancySites, 60, 24))
+	}
+	if res.Telemetry != nil {
+		fmt.Println()
+		fmt.Print(res.Telemetry)
 	}
 }

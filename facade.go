@@ -10,6 +10,7 @@ import (
 	"mdkmc/internal/lattice"
 	"mdkmc/internal/md"
 	"mdkmc/internal/mpi"
+	"mdkmc/internal/telemetry"
 	"mdkmc/internal/units"
 )
 
@@ -47,7 +48,45 @@ type (
 	Fault = mpi.Fault
 	// InjectedFault is the error a fault-killed run returns (errors.As).
 	InjectedFault = mpi.InjectedFault
+	// TelemetryOptions configures the runtime observability layer: JSONL
+	// flush, Prometheus-style HTTP exposition, flush cadence.
+	TelemetryOptions = telemetry.Options
+	// TelemetryReport is the end-of-run per-phase report, every metric
+	// min/mean/max-aggregated across ranks.
+	TelemetryReport = telemetry.Report
 )
+
+// runOpts collects the per-run options of the checkpointed entry points.
+type runOpts struct {
+	faults    []Fault
+	telemetry TelemetryOptions
+}
+
+// RunOption customizes a Run*Checkpointed call.
+type RunOption func(*runOpts)
+
+// WithFaults schedules injected rank failures (in addition to any plan in
+// MDKMC_FAULT) for recovery testing.
+func WithFaults(faults ...Fault) RunOption {
+	return func(o *runOpts) { o.faults = append(o.faults, faults...) }
+}
+
+// WithTelemetry attaches the observability layer to the run: per-rank phase
+// spans and comm counters, periodic JSONL flush, optional HTTP exposition,
+// and a measured end-of-run report in the result's Telemetry field.
+// Telemetry never perturbs the trajectory — results are bit-identical to a
+// run without it.
+func WithTelemetry(opts TelemetryOptions) RunOption {
+	return func(o *runOpts) { o.telemetry = opts }
+}
+
+func applyRunOptions(opts []RunOption) runOpts {
+	var o runOpts
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
 
 // Fault-injection points understood by Fault.Point, plus the environment
 // variable holding an out-of-band fault plan ("point:rank:step,...").
@@ -86,6 +125,9 @@ type MDResult struct {
 	VacancySites []Coord
 	Comm         CommStats
 	Clusters     ClusterAnalysis
+	// Telemetry is the measured per-phase report (nil unless the run was
+	// started with WithTelemetry and enabled options).
+	Telemetry *TelemetryReport
 }
 
 // prepareCheckpoint resolves the restart manifest and coordinator for a
@@ -124,9 +166,10 @@ func RunMD(cfg MDConfig) (*MDResult, error) { return RunMDCheckpointed(cfg, Chec
 // RunMDCheckpointed is RunMD with periodic snapshots and restart: with
 // ck.Dir set, all ranks are snapshotted every ck.Every steps, and ck.Restart
 // resumes from the newest valid snapshot, bit-identical to an uninterrupted
-// run. Optional faults (plus any in MDKMC_FAULT) are injected for recovery
-// testing.
-func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, faults ...Fault) (*MDResult, error) {
+// run. Options inject faults (WithFaults, plus any in MDKMC_FAULT) and
+// attach telemetry (WithTelemetry).
+func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, opts ...RunOption) (*MDResult, error) {
+	o := applyRunOptions(opts)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -138,15 +181,24 @@ func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, faults ...Fault) (*MDResult,
 	if err != nil {
 		return nil, err
 	}
+	set, err := telemetry.NewSet(cfg.Ranks(), o.telemetry)
+	if err != nil {
+		return nil, err
+	}
+	defer set.Close()
+	co.AttachTelemetry(set)
 	res := &MDResult{Atoms: cfg.NumAtoms(), Steps: cfg.Steps}
 	w := mpi.NewWorld(cfg.Ranks())
-	w.InjectFault(faults...)
+	w.InjectFault(o.faults...)
 	w.InjectFault(envFaults...)
 	runErr := w.RunE(func(c *mpi.Comm) error {
+		reg := set.Rank(c.Rank())
+		c.AttachTelemetry(reg)
 		r, err := md.NewRank(cfg, c)
 		if err != nil {
 			return err
 		}
+		r.AttachTelemetry(reg)
 		start := 0
 		if man != nil {
 			rc, err := man.Open(c.Rank())
@@ -168,6 +220,11 @@ func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, faults ...Fault) (*MDResult,
 					return err
 				}
 			}
+			if c.Rank() == 0 && set.FlushDue(step) {
+				if err := set.Flush(fmt.Sprintf("md-step-%d", step)); err != nil {
+					return err
+				}
+			}
 			c.FaultPoint(mpi.PointMDStep, step)
 		}
 		ke, pe := r.TotalEnergy()
@@ -180,8 +237,22 @@ func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, faults ...Fault) (*MDResult,
 			res.Temperature = temp
 			res.Vacancies = vac
 			res.VacancySites = sites
-			res.Comm = c.Stats
+			res.Comm = c.Stats()
 			res.Clusters = cluster.Vacancies(r.L, sites, 2)
+		}
+		// Collective end-of-run aggregation; runs after Comm is captured so
+		// its own traffic stays out of both.
+		if set != nil {
+			rep, err := telemetry.Aggregate(c, reg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				res.Telemetry = rep
+				if err := set.WriteReport(rep); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	})
@@ -202,6 +273,9 @@ type KMCResult struct {
 	VacancySites []Coord
 	Comm         CommStats
 	Clusters     ClusterAnalysis
+	// Telemetry is the measured per-phase report (nil unless the run was
+	// started with WithTelemetry and enabled options).
+	Telemetry *TelemetryReport
 }
 
 // RunKMC builds the in-process world for cfg.Grid and runs cycles KMC
@@ -213,9 +287,10 @@ func RunKMC(cfg KMCConfig, cycles int, tThreshold float64) (*KMCResult, error) {
 // RunKMCCheckpointed is RunKMC with periodic snapshots and restart: with
 // ck.Dir set, all ranks are snapshotted every ck.Every cycles, and
 // ck.Restart resumes from the newest valid snapshot, bit-identical to an
-// uninterrupted run. Optional faults (plus any in MDKMC_FAULT) are injected
-// for recovery testing.
-func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkpoint, faults ...Fault) (*KMCResult, error) {
+// uninterrupted run. Options inject faults (WithFaults, plus any in
+// MDKMC_FAULT) and attach telemetry (WithTelemetry).
+func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkpoint, opts ...RunOption) (*KMCResult, error) {
+	o := applyRunOptions(opts)
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -233,15 +308,24 @@ func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkp
 	if err != nil {
 		return nil, err
 	}
+	set, err := telemetry.NewSet(cfg.Ranks(), o.telemetry)
+	if err != nil {
+		return nil, err
+	}
+	defer set.Close()
+	co.AttachTelemetry(set)
 	res := &KMCResult{Sites: cfg.NumSites()}
 	w := mpi.NewWorld(cfg.Ranks())
-	w.InjectFault(faults...)
+	w.InjectFault(o.faults...)
 	w.InjectFault(envFaults...)
 	runErr := w.RunE(func(c *mpi.Comm) error {
+		reg := set.Rank(c.Rank())
+		c.AttachTelemetry(reg)
 		st, err := kmc.NewState(cfg, c)
 		if err != nil {
 			return err
 		}
+		st.AttachTelemetry(reg)
 		if man != nil {
 			rc, err := man.Open(c.Rank())
 			if err != nil {
@@ -260,6 +344,11 @@ func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkp
 					return err
 				}
 			}
+			if c.Rank() == 0 && set.FlushDue(st.Cycles) {
+				if err := set.Flush(fmt.Sprintf("kmc-cycle-%d", st.Cycles)); err != nil {
+					return err
+				}
+			}
 			c.FaultPoint(mpi.PointKMCCycle, st.Cycles)
 		}
 		tot := c.Allreduce(mpi.Sum, float64(st.Events))
@@ -274,8 +363,22 @@ func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkp
 			res.RealTimeDays = couple.TemporalScaleDays(st.Time, cMC,
 				units.VacancyFormationEnergyFe, cfg.Temperature)
 			res.VacancySites = sites
-			res.Comm = c.Stats
+			res.Comm = c.Stats()
 			res.Clusters = cluster.Vacancies(st.L, sites, 2)
+		}
+		// Collective end-of-run aggregation; runs after Comm is captured so
+		// its own traffic stays out of both.
+		if set != nil {
+			rep, err := telemetry.Aggregate(c, reg)
+			if err != nil {
+				return err
+			}
+			if c.Rank() == 0 {
+				res.Telemetry = rep
+				if err := set.WriteReport(rep); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	})

@@ -196,7 +196,7 @@ func TestRunKMCCheckpointedRestart(t *testing.T) {
 	dir := t.TempDir()
 	ck := mdkmc.Checkpoint{Dir: dir, Every: 4}
 	_, err = mdkmc.RunKMCCheckpointed(cfg, cycles, 0, ck,
-		mdkmc.Fault{Rank: 0, Point: mdkmc.FaultPointKMCCycle, Step: 9})
+		mdkmc.WithFaults(mdkmc.Fault{Rank: 0, Point: mdkmc.FaultPointKMCCycle, Step: 9}))
 	var inj mdkmc.InjectedFault
 	if !errors.As(err, &inj) {
 		t.Fatalf("crashed run returned %v, want the injected fault", err)
@@ -238,7 +238,7 @@ func TestRunMDCheckpointedRestart(t *testing.T) {
 	dir := t.TempDir()
 	ck := mdkmc.Checkpoint{Dir: dir, Every: 10}
 	_, err = mdkmc.RunMDCheckpointed(cfg, ck,
-		mdkmc.Fault{Rank: 0, Point: mdkmc.FaultPointMDStep, Step: 25})
+		mdkmc.WithFaults(mdkmc.Fault{Rank: 0, Point: mdkmc.FaultPointMDStep, Step: 25}))
 	var inj mdkmc.InjectedFault
 	if !errors.As(err, &inj) {
 		t.Fatalf("crashed run returned %v, want the injected fault", err)

@@ -13,6 +13,7 @@ import (
 
 	"mdkmc/internal/lattice"
 	"mdkmc/internal/mpi"
+	"mdkmc/internal/telemetry"
 )
 
 // This file implements the fault-tolerance layer for long coupled runs: at
@@ -171,6 +172,19 @@ type Coordinator struct {
 	hash  string
 
 	nextSeq int // rank 0 only
+
+	// set, when non-nil, provides the per-rank registries the snapshot
+	// save/commit spans record into (telemetry.Set is nil-safe throughout).
+	set *telemetry.Set
+}
+
+// AttachTelemetry wires the run's telemetry set into the coordinator so
+// Snapshot can time its save and commit phases per rank. Safe on a nil
+// coordinator or a nil set.
+func (co *Coordinator) AttachTelemetry(set *telemetry.Set) {
+	if co != nil {
+		co.set = set
+	}
 }
 
 // NewCoordinator prepares a coordinator writing into ck.Dir. The sequence
@@ -211,6 +225,9 @@ func (co *Coordinator) Due(step int) bool {
 // rank 0 writes the manifest and commits with an atomic rename. It must be
 // entered by all ranks with identical (stage, step).
 func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, md *MDSummary, save func(io.Writer) error) error {
+	reg := co.set.Rank(c.Rank())
+	snap := reg.Timer("couple/checkpoint").Begin()
+	defer snap.End()
 	tmp := filepath.Join(co.dir, tmpDirName)
 	if c.Rank() == 0 {
 		// A leftover staging dir from a crashed attempt is dead weight.
@@ -223,12 +240,15 @@ func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, md *MDSumma
 	}
 	c.Barrier() // staging dir exists before anyone writes into it
 
+	sp := reg.Timer("couple/checkpoint/save").Begin()
 	if err := co.writeRankFile(c, tmp, save); err != nil {
 		return err
 	}
+	sp.End()
 	c.Barrier() // every rank file complete before the commit
 
 	if c.Rank() == 0 {
+		commit := reg.Timer("couple/checkpoint/commit").Begin()
 		// The armed crash window of the atomic-commit guarantee: rank files
 		// are on disk, the manifest rename has not happened.
 		c.FaultPoint(mpi.PointCheckpointCommit, step)
@@ -255,6 +275,7 @@ func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, md *MDSumma
 		}
 		co.nextSeq = seq + 1
 		co.prune(seq)
+		commit.End()
 	}
 	c.Barrier() // commit visible before any rank can start the next snapshot
 	return nil

@@ -91,8 +91,11 @@ func (st *State) runSector(sec int, dt float64) int {
 // the eight sectors (steps #1-#9 of Figure 7) and returns the number of
 // events executed on this rank.
 func (st *State) Cycle() int {
+	cyc := st.tel.cycle.Begin()
 	// #1: the synchronous time window, from the globally slowest subdomain.
+	sp := st.tel.sync.Begin()
 	rmax := st.Comm.Allreduce(mpi.Max, st.TotalRate())[0]
+	sp.End()
 	var dt float64
 	if rmax > 0 {
 		dt = st.Cfg.DtFactor / rmax
@@ -104,23 +107,33 @@ func (st *State) Cycle() int {
 	for sec := 0; sec < 8; sec++ {
 		if st.Cfg.Protocol == Traditional {
 			// #6a: refresh the sector's read halo.
+			sp = st.tel.get.Begin()
 			st.exchangeGetSector(sec)
+			sp.End()
 		}
+		sp = st.tel.sector.Begin()
 		events += st.runSector(sec, dt)
+		sp.End()
 		// #6b: publish this sector's updates.
 		if st.Cfg.Protocol == Traditional {
+			sp = st.tel.put.Begin()
 			st.exchangePutSector(sec)
+			sp.End()
 			// The dirty set only feeds the on-demand flush; the put band
 			// above already published these updates, so drop them — a
 			// populated set would wrongly trip Save's mid-sector guard.
 			clear(st.dirty)
 		} else {
+			sp = st.tel.flush.Begin()
 			st.flushOnDemand()
+			sp.End()
 		}
 	}
 	st.Time += dt
 	st.Cycles++
 	st.Events += events
+	st.tel.events.Add(int64(events))
+	cyc.End()
 	return events
 }
 

@@ -74,6 +74,7 @@ func (st *State) exchangeGetSector(sec int) {
 			p.u8(st.Occ[base+1])
 		}
 		st.Comm.Send(peer, tagKGet, p.buf)
+		st.tel.bandBytes.Add(int64(len(p.buf)))
 	}
 	for _, peer := range st.peers {
 		cells := st.getRecv[sec][peer]
@@ -109,6 +110,7 @@ func (st *State) exchangePutSector(sec int) {
 			p.u8(st.Occ[base+1])
 		}
 		st.Comm.Send(peer, tagKPut, p.buf)
+		st.tel.bandBytes.Add(int64(len(p.buf)))
 	}
 	for _, peer := range st.peers {
 		cells := st.putRecv[sec][peer]
@@ -190,6 +192,7 @@ func (st *State) flushOnDemand() {
 	}
 	sort.Ints(dirtySorted)
 	st.dirty = make(map[int]bool)
+	st.tel.dirtySites.Add(int64(len(dirtySorted)))
 
 	byPeer := make(map[int]*packer)
 	for _, local := range dirtySorted {
@@ -216,6 +219,7 @@ func (st *State) flushOnDemand() {
 				payload = p.buf
 			}
 			st.Comm.Send(peer, tagKDirty, payload)
+			st.tel.dirtyBytes.Add(int64(len(payload)))
 		}
 		for _, peer := range st.peers {
 			status := st.Comm.Probe(peer, tagKDirty)
@@ -227,6 +231,7 @@ func (st *State) flushOnDemand() {
 		for _, peer := range st.peers {
 			if p := byPeer[peer]; p != nil && len(p.buf) > 0 {
 				st.win.Put(peer, p.buf)
+				st.tel.dirtyBytes.Add(int64(len(p.buf)))
 			}
 		}
 		for _, m := range st.win.Fence() {
@@ -238,4 +243,4 @@ func (st *State) flushOnDemand() {
 }
 
 // Stats returns the accumulated communication counters.
-func (st *State) Stats() mpi.Stats { return st.Comm.Stats }
+func (st *State) Stats() mpi.Stats { return st.Comm.Stats() }

@@ -9,6 +9,7 @@ import (
 	"mdkmc/internal/lattice"
 	"mdkmc/internal/mpi"
 	"mdkmc/internal/rng"
+	"mdkmc/internal/telemetry"
 	"mdkmc/internal/units"
 )
 
@@ -62,6 +63,48 @@ type State struct {
 	win     *mpi.Win
 
 	rng *rng.Source
+
+	// tel holds the KMC phase spans and protocol counters; nil handles
+	// (telemetry disabled) make every record a no-op.
+	tel kmcTelemetry
+}
+
+// kmcTelemetry is one rank's KMC span/counter handles (DESIGN.md §11). The
+// band vs dirty byte counters are the measured form of the paper's
+// traditional-vs-on-demand comm-volume contrast (Figures 12-13).
+type kmcTelemetry struct {
+	cycle  *telemetry.Timer // kmc/cycle — one synchronous sublattice pass
+	sync   *telemetry.Timer // kmc/sync — the time-window Allreduce
+	sector *telemetry.Timer // kmc/sector — in-sector KMC (selection + apply)
+	get    *telemetry.Timer // kmc/ghost/get — traditional read-halo refresh
+	put    *telemetry.Timer // kmc/ghost/put — traditional write-band push
+	flush  *telemetry.Timer // kmc/ghost/flush — on-demand dirty-site flush
+
+	events     *telemetry.Counter // kmc/events — executed hops
+	bandBytes  *telemetry.Counter // kmc/ghost/band-bytes — traditional payloads
+	dirtyBytes *telemetry.Counter // kmc/ghost/dirty-bytes — on-demand payloads
+	dirtySites *telemetry.Counter // kmc/ghost/dirty-sites — flushed site records
+}
+
+// AttachTelemetry registers the KMC phase spans and protocol counters in
+// reg (nil registry = no-op handles). Recording never touches the RNG
+// streams or the communication schedule, so trajectories stay bit-identical.
+func (st *State) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	st.tel = kmcTelemetry{
+		cycle:      reg.Timer("kmc/cycle"),
+		sync:       reg.Timer("kmc/sync"),
+		sector:     reg.Timer("kmc/sector"),
+		get:        reg.Timer("kmc/ghost/get"),
+		put:        reg.Timer("kmc/ghost/put"),
+		flush:      reg.Timer("kmc/ghost/flush"),
+		events:     reg.Counter("kmc/events"),
+		bandBytes:  reg.Counter("kmc/ghost/band-bytes"),
+		dirtyBytes: reg.Counter("kmc/ghost/dirty-bytes"),
+		dirtySites: reg.Counter("kmc/ghost/dirty-sites"),
+	}
 }
 
 // NewState builds the rank-local state collectively.

@@ -7,6 +7,7 @@ import (
 	"mdkmc/internal/lattice"
 	"mdkmc/internal/mpi"
 	"mdkmc/internal/neighbor"
+	"mdkmc/internal/telemetry"
 	"mdkmc/internal/units"
 	"mdkmc/internal/vec"
 )
@@ -40,6 +41,34 @@ type exchange struct {
 	recvPlans map[int][]cellPair // owner rank -> cells I receive (dst = mine)
 	sendPlans map[int][]int      // requester rank -> my basis-0 local indices
 	selfCopy  []cellPair         // periodic images inside my own subdomain
+
+	tel exTelemetry
+}
+
+// exTelemetry holds the ghost-protocol spans: pack (serialize + enqueue),
+// wait (blocked in Recv for the peer's message), unpack (deserialize into
+// the halo), per exchanged quantity, plus the ghost payload byte counter.
+type exTelemetry struct {
+	posPack, posWait, posUnpack *telemetry.Timer
+	rhoPack, rhoWait, rhoUnpack *telemetry.Timer
+	migrate                     *telemetry.Timer
+	bytes                       *telemetry.Counter
+}
+
+func (e *exchange) attachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	e.tel = exTelemetry{
+		posPack:   reg.Timer("md/ghost/pos/pack"),
+		posWait:   reg.Timer("md/ghost/pos/wait"),
+		posUnpack: reg.Timer("md/ghost/pos/unpack"),
+		rhoPack:   reg.Timer("md/ghost/rho/pack"),
+		rhoWait:   reg.Timer("md/ghost/rho/wait"),
+		rhoUnpack: reg.Timer("md/ghost/rho/unpack"),
+		migrate:   reg.Timer("md/ghost/migrate"),
+		bytes:     reg.Counter("md/ghost/bytes-sent"),
+	}
 }
 
 // newExchange builds the plan collectively; every rank must call it.
@@ -183,6 +212,7 @@ func unpackCellPos(u *unpacker, s *neighbor.Store, base int, shift vec.V) {
 // ExchangePositions refreshes every ghost site's identity, position and
 // run-away chains from the owning ranks (and local periodic images).
 func (e *exchange) ExchangePositions(s *neighbor.Store) {
+	sp := e.tel.posPack.Begin()
 	for _, cp := range e.selfCopy {
 		var p packer
 		packCellPos(&p, s, cp.src)
@@ -196,9 +226,14 @@ func (e *exchange) ExchangePositions(s *neighbor.Store) {
 			packCellPos(&p, s, base)
 		}
 		e.comm.Send(peer, tagPos, p.buf)
+		e.tel.bytes.Add(int64(len(p.buf)))
 	}
+	sp.End()
 	for _, peer := range e.peers {
+		wait := e.tel.posWait.Begin()
 		data, _ := e.comm.Recv(peer, tagPos)
+		wait.End()
+		sp := e.tel.posUnpack.Begin()
 		u := unpacker{buf: data}
 		for _, cp := range e.recvPlans[peer] {
 			unpackCellPos(&u, s, cp.dst, cp.shift)
@@ -206,6 +241,7 @@ func (e *exchange) ExchangePositions(s *neighbor.Store) {
 		if !u.done() {
 			panic("md: trailing bytes in position ghost message")
 		}
+		sp.End()
 	}
 }
 
@@ -249,6 +285,7 @@ func unpackCellRho(u *unpacker, s *neighbor.Store, base int) {
 
 // ExchangeDensities refreshes ghost densities after the density pass.
 func (e *exchange) ExchangeDensities(s *neighbor.Store) {
+	sp := e.tel.rhoPack.Begin()
 	for _, cp := range e.selfCopy {
 		var p packer
 		packCellRho(&p, s, cp.src)
@@ -261,9 +298,14 @@ func (e *exchange) ExchangeDensities(s *neighbor.Store) {
 			packCellRho(&p, s, base)
 		}
 		e.comm.Send(peer, tagRho, p.buf)
+		e.tel.bytes.Add(int64(len(p.buf)))
 	}
+	sp.End()
 	for _, peer := range e.peers {
+		wait := e.tel.rhoWait.Begin()
 		data, _ := e.comm.Recv(peer, tagRho)
+		wait.End()
+		sp := e.tel.rhoUnpack.Begin()
 		u := unpacker{buf: data}
 		for _, cp := range e.recvPlans[peer] {
 			unpackCellRho(&u, s, cp.dst)
@@ -271,6 +313,7 @@ func (e *exchange) ExchangeDensities(s *neighbor.Store) {
 		if !u.done() {
 			panic("md: trailing bytes in density ghost message")
 		}
+		sp.End()
 	}
 }
 
@@ -284,6 +327,8 @@ type migrant struct {
 // migrants received from the peer ranks, sorted by source. The atom's
 // position is translated into the wrapped frame by the caller.
 func (e *exchange) SendMigrants(out []migrant) []migrant {
+	sp := e.tel.migrate.Begin()
+	defer sp.End()
 	byPeer := make(map[int][]migrant)
 	for _, m := range out {
 		owner := e.grid.RankOfCell(m.anchor.X, m.anchor.Y, m.anchor.Z)
@@ -317,6 +362,7 @@ func (e *exchange) SendMigrants(out []migrant) []migrant {
 			p.vec(m.atom.Vel)
 		}
 		e.comm.Send(peer, tagMig, p.buf)
+		e.tel.bytes.Add(int64(len(p.buf)))
 	}
 	var in []migrant
 	for _, peer := range e.peers {
@@ -338,4 +384,4 @@ func (e *exchange) SendMigrants(out []migrant) []migrant {
 }
 
 // Stats returns the communication counters of the underlying endpoint.
-func (e *exchange) Stats() mpi.Stats { return e.comm.Stats }
+func (e *exchange) Stats() mpi.Stats { return e.comm.Stats() }

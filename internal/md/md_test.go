@@ -438,9 +438,9 @@ func TestGhostExchangeCommVolumeScalesWithSurface(t *testing.T) {
 			if err != nil {
 				panic(err)
 			}
-			before := r.Comm.Stats.BytesSent
+			before := r.Comm.Stats().BytesSent
 			r.Step()
-			results[c.Rank()] = r.Comm.Stats.BytesSent - before
+			results[c.Rank()] = r.Comm.Stats().BytesSent - before
 		})
 		return results[0] + results[1]
 	}

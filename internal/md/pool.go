@@ -9,6 +9,7 @@ import (
 	"mdkmc/internal/neighbor"
 	"mdkmc/internal/perf"
 	"mdkmc/internal/sunway"
+	"mdkmc/internal/telemetry"
 )
 
 // ForceChunks is the fixed sharding granularity of the shared-memory force
@@ -42,6 +43,25 @@ type ForcePool struct {
 	// real wall-clock, not the CPE cost model (see perf.WorkerTiming).
 	DensityTiming perf.WorkerTiming
 	ForceTiming   perf.WorkerTiming
+
+	// Telemetry absorption of the per-pass WorkerTiming: each pass feeds
+	// every worker's busy time into the matching timer, so the registry's
+	// min/max/histogram expose the scheduler imbalance that WorkerTiming
+	// only keeps for the latest pass.
+	densityBusy *telemetry.Timer   // md/pool/density-busy
+	forceBusy   *telemetry.Timer   // md/pool/force-busy
+	chunksRun   *telemetry.Counter // md/pool/chunks
+}
+
+// AttachTelemetry registers the pool's worker-busy timers and chunk counter
+// in reg (nil registry = no-op handles).
+func (p *ForcePool) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	p.densityBusy = reg.Timer("md/pool/density-busy")
+	p.forceBusy = reg.Timer("md/pool/force-busy")
+	p.chunksRun = reg.Counter("md/pool/chunks")
 }
 
 // NewForcePool builds a pool over the force field with the given worker
@@ -118,6 +138,17 @@ func (p *ForcePool) run(s *neighbor.Store, force bool, timing *perf.WorkerTiming
 		wg.Wait()
 	}
 	timing.Wall = time.Since(wall)
+
+	busyTimer := p.densityBusy
+	if force {
+		busyTimer = p.forceBusy
+	}
+	if busyTimer != nil {
+		for _, b := range timing.Busy {
+			busyTimer.Observe(b)
+		}
+	}
+	p.chunksRun.Add(ForceChunks)
 
 	var st OpStats
 	var energy float64

@@ -9,6 +9,7 @@ import (
 	"mdkmc/internal/mpi"
 	"mdkmc/internal/neighbor"
 	"mdkmc/internal/rng"
+	"mdkmc/internal/telemetry"
 	"mdkmc/internal/units"
 	"mdkmc/internal/vec"
 )
@@ -37,6 +38,37 @@ type Rank struct {
 	// Kernel, when set, replaces the plain force computation with the
 	// Sunway CPE-offloaded kernel (see cpekernel.go).
 	Kernel *CPEKernel
+
+	// tel holds the phase timers; nil timers (telemetry disabled) make every
+	// span a no-op, so the step path is instrumented unconditionally.
+	tel rankTelemetry
+}
+
+// rankTelemetry is one rank's MD phase-span handles (DESIGN.md §11).
+type rankTelemetry struct {
+	step    *telemetry.Timer // md/step — whole velocity-Verlet step
+	density *telemetry.Timer // md/density — embedding-density pass
+	force   *telemetry.Timer // md/force — force/energy pass
+	relink  *telemetry.Timer // md/relink — re-anchoring + migration
+}
+
+// AttachTelemetry registers this rank's MD phase spans and comm counters in
+// reg. Call once after NewRank (and after AttachCPEKernel, if any); a nil
+// registry leaves all spans as no-ops. Recording only reads the wall clock
+// and bumps atomics — the trajectory stays bit-identical (telemetry's
+// zero-perturbation contract, proven in couple's determinism test).
+func (r *Rank) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	r.tel = rankTelemetry{
+		step:    reg.Timer("md/step"),
+		density: reg.Timer("md/density"),
+		force:   reg.Timer("md/force"),
+		relink:  reg.Timer("md/relink"),
+	}
+	r.Pool.AttachTelemetry(reg)
+	r.Ex.attachTelemetry(reg)
 }
 
 // NewRank builds the rank-local state and computes initial forces. It is a
@@ -187,19 +219,23 @@ func (r *Rank) AttachCPEKernel(variant KernelVariant) *CPEKernel {
 // produce bit-identical forces, densities, and energies.
 func (r *Rank) computeForces() {
 	r.Ex.ExchangePositions(r.Store)
+	sp := r.tel.density.Begin()
 	var st OpStats
 	if r.Kernel != nil {
 		st = r.Kernel.Densities(r.Store)
 	} else {
 		st = r.Pool.Densities(r.Store)
 	}
+	sp.End()
 	r.Ex.ExchangeDensities(r.Store)
+	sp = r.tel.force.Begin()
 	var fst OpStats
 	if r.Kernel != nil {
 		fst, r.LastPE = r.Kernel.Forces(r.Store)
 	} else {
 		fst, r.LastPE = r.Pool.Forces(r.Store)
 	}
+	sp.End()
 	st.Add(fst)
 	r.LastStats = st
 }
@@ -333,15 +369,19 @@ func (r *Rank) relink() {
 
 // Step advances the simulation by one velocity-Verlet step.
 func (r *Rank) Step() {
+	step := r.tel.step.Begin()
 	r.halfKick()
 	r.drift()
+	sp := r.tel.relink.Begin()
 	r.relink()
+	sp.End()
 	r.computeForces()
 	r.halfKick()
 	if th := r.Cfg.Thermostat; th != nil {
 		r.applyThermostat(*th)
 	}
 	r.StepCount++
+	step.End()
 }
 
 // applyThermostat rescales velocities toward the target temperature

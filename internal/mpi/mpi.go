@@ -25,6 +25,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"mdkmc/internal/telemetry"
 )
 
 // AnySource matches messages from any rank in Recv and Probe.
@@ -59,7 +61,7 @@ func newMailbox() *mailbox {
 	return m
 }
 
-// Stats records a rank's communication activity.
+// Stats is a snapshot of a rank's communication activity.
 type Stats struct {
 	MsgsSent  int64
 	BytesSent int64
@@ -75,18 +77,48 @@ func (s *Stats) Add(other Stats) {
 	s.BytesRecv += other.BytesRecv
 }
 
+// pathStats is the live atomic counter set for one communication path
+// (point-to-point, collective, or one-sided). Atomics let the telemetry
+// flush/HTTP goroutines read counters while ranks are communicating.
+type pathStats struct {
+	msgsSent  atomic.Int64
+	bytesSent atomic.Int64
+	msgsRecv  atomic.Int64
+	bytesRecv atomic.Int64
+}
+
+func (p *pathStats) sent(msgs, bytes int64) {
+	p.msgsSent.Add(msgs)
+	p.bytesSent.Add(bytes)
+}
+
+func (p *pathStats) recv(msgs, bytes int64) {
+	p.msgsRecv.Add(msgs)
+	p.bytesRecv.Add(bytes)
+}
+
+func (p *pathStats) snapshot() Stats {
+	return Stats{
+		MsgsSent:  p.msgsSent.Load(),
+		BytesSent: p.bytesSent.Load(),
+		MsgsRecv:  p.msgsRecv.Load(),
+		BytesRecv: p.bytesRecv.Load(),
+	}
+}
+
 // World owns the mailboxes and collective state for a fixed set of ranks.
 type World struct {
 	n     int
 	boxes []*mailbox
 
-	collMu   sync.Mutex
-	collCond *sync.Cond
-	collGen  uint64
-	collCnt  int
-	collAcc  []float64
-	collOut  []float64
-	gatherIn [][]byte
+	collMu    sync.Mutex
+	collCond  *sync.Cond
+	collGen   uint64
+	collCnt   int
+	collAcc   []float64
+	collOut   []float64
+	gatherIn  [][]byte
+	gatherOut [][]byte
 
 	winPending *winShared
 	winCreated int
@@ -320,11 +352,53 @@ func (w *World) InjectFault(faults ...Fault) {
 	w.faults = append(w.faults, faults...)
 }
 
-// Comm is one rank's endpoint.
+// Comm is one rank's endpoint. Communication counters are kept per path
+// (point-to-point, collective, one-sided) in atomics; Stats() snapshots the
+// total and AttachTelemetry folds the per-path counters into a registry.
 type Comm struct {
 	world *World
 	rank  int
-	Stats Stats
+	p2p   pathStats
+	coll  pathStats
+	win   pathStats
+}
+
+// Stats returns a snapshot of this rank's total communication counters,
+// summed over the point-to-point, collective, and one-sided paths. Safe to
+// call from any goroutine while the rank is communicating.
+func (c *Comm) Stats() Stats {
+	s := c.p2p.snapshot()
+	s.Add(c.coll.snapshot())
+	s.Add(c.win.snapshot())
+	return s
+}
+
+// AttachTelemetry registers this endpoint's communication counters in reg as
+// read-at-snapshot-time counter funcs, one per path and direction plus
+// rank totals — no hot-path double counting. A nil registry is a no-op.
+func (c *Comm) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	paths := []struct {
+		name string
+		p    *pathStats
+	}{
+		{"mpi/p2p", &c.p2p},
+		{"mpi/coll", &c.coll},
+		{"mpi/win", &c.win},
+	}
+	for _, pp := range paths {
+		p := pp.p
+		reg.CounterFunc(pp.name+"/msgs-sent", p.msgsSent.Load)
+		reg.CounterFunc(pp.name+"/bytes-sent", p.bytesSent.Load)
+		reg.CounterFunc(pp.name+"/msgs-recv", p.msgsRecv.Load)
+		reg.CounterFunc(pp.name+"/bytes-recv", p.bytesRecv.Load)
+	}
+	reg.CounterFunc("mpi/msgs-sent", func() int64 { return c.Stats().MsgsSent })
+	reg.CounterFunc("mpi/bytes-sent", func() int64 { return c.Stats().BytesSent })
+	reg.CounterFunc("mpi/msgs-recv", func() int64 { return c.Stats().MsgsRecv })
+	reg.CounterFunc("mpi/bytes-recv", func() int64 { return c.Stats().BytesRecv })
 }
 
 // FaultPoint panics with an InjectedFault if the world's fault plan arms
@@ -358,8 +432,7 @@ func (c *Comm) Send(to, tag int, data []byte) {
 	box.pending = append(box.pending, message{src: c.rank, tag: tag, data: cp})
 	box.mu.Unlock()
 	box.cond.Broadcast()
-	c.Stats.MsgsSent++
-	c.Stats.BytesSent += int64(len(data))
+	c.p2p.sent(1, int64(len(data)))
 }
 
 // match returns the index of the first pending message matching (src, tag),
@@ -384,8 +457,7 @@ func (c *Comm) Recv(src, tag int) ([]byte, Status) {
 		if i := match(box.pending, src, tag); i >= 0 {
 			m := box.pending[i]
 			box.pending = append(box.pending[:i], box.pending[i+1:]...)
-			c.Stats.MsgsRecv++
-			c.Stats.BytesRecv += int64(len(m.data))
+			c.p2p.recv(1, int64(len(m.data)))
 			return m.data, Status{Source: m.src, Tag: m.tag, Size: len(m.data)}
 		}
 		if c.world.aborted.Load() {
@@ -510,9 +582,10 @@ func (c *Comm) Allreduce(op Op, vals ...float64) []float64 {
 	}
 	out := make([]float64, len(w.collOut))
 	copy(out, w.collOut)
-	// Model the collective as one message per rank for accounting purposes.
-	c.Stats.MsgsSent++
-	c.Stats.BytesSent += int64(8 * len(vals))
+	// Model the collective as one message contributed and one reduced vector
+	// received per rank, so global sent equals global recv.
+	c.coll.sent(1, int64(8*len(vals)))
+	c.coll.recv(1, int64(8*len(out)))
 	return out
 }
 
@@ -531,6 +604,13 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 	w.gatherIn[c.rank] = cp
 	w.collCnt++
 	if w.collCnt == w.n {
+		// Publish the completed gather through its own field: a slow waiter
+		// reads the result only after waking, by which time a fast peer may
+		// already have entered the *next* Allgather and replaced gatherIn.
+		// gatherOut is overwritten only by the completer of a later gather,
+		// which cannot happen until every rank (including this waiter) has
+		// read this generation's result and moved on.
+		w.gatherOut = w.gatherIn
 		w.collCnt = 0
 		w.collGen++
 		w.collCond.Broadcast()
@@ -542,8 +622,16 @@ func (c *Comm) Allgather(data []byte) [][]byte {
 			w.collCond.Wait()
 		}
 	}
-	out := w.gatherIn
-	c.Stats.MsgsSent += int64(w.n - 1)
-	c.Stats.BytesSent += int64(len(data) * (w.n - 1))
+	out := w.gatherOut
+	// Each rank ships its payload to the n-1 peers and receives each peer's
+	// payload once, keeping send and recv accounting globally symmetric.
+	c.coll.sent(int64(w.n-1), int64(len(data)*(w.n-1)))
+	var recvBytes int64
+	for i, buf := range out {
+		if i != c.rank {
+			recvBytes += int64(len(buf))
+		}
+	}
+	c.coll.recv(int64(w.n-1), recvBytes)
 	return out
 }

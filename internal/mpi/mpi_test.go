@@ -4,10 +4,13 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"mdkmc/internal/telemetry"
 )
 
 func TestSendRecvBasic(t *testing.T) {
@@ -210,6 +213,37 @@ func TestAllgather(t *testing.T) {
 	})
 }
 
+// TestAllgatherBackToBack regression-tests a generation race: a waiter woken
+// from one Allgather must still see *that* gather's result even if a fast
+// peer has already entered the next Allgather and reset the shared input
+// buffer. Payloads encode (rank, round) so any cross-generation bleed shows
+// up as a wrong round byte. Rank-dependent busy-work between rounds widens
+// the wake-to-read window that triggered the original corruption.
+func TestAllgatherBackToBack(t *testing.T) {
+	const n = 4
+	const rounds = 300
+	w := NewWorld(n)
+	w.Run(func(c *Comm) {
+		for round := 0; round < rounds; round++ {
+			all := c.Allgather([]byte{byte(c.Rank()), byte(round)})
+			if len(all) != n {
+				t.Fatalf("round %d: gathered %d entries", round, len(all))
+			}
+			for r, d := range all {
+				if len(d) != 2 || d[0] != byte(r) || d[1] != byte(round) {
+					t.Fatalf("rank %d round %d slot %d = %v, want [%d %d]",
+						c.Rank(), round, r, d, r, round)
+				}
+			}
+			// Stagger the ranks so some are still reading the result while
+			// others race ahead into the next collective.
+			if c.Rank()%2 == 0 {
+				runtime.Gosched()
+			}
+		}
+	})
+}
+
 func TestStatsCounting(t *testing.T) {
 	w := NewWorld(2)
 	var sent, recvd Stats
@@ -217,11 +251,11 @@ func TestStatsCounting(t *testing.T) {
 		if c.Rank() == 0 {
 			c.Send(1, 0, make([]byte, 100))
 			c.Send(1, 0, make([]byte, 50))
-			sent = c.Stats
+			sent = c.Stats()
 		} else {
 			c.Recv(0, 0)
 			c.Recv(0, 0)
-			recvd = c.Stats
+			recvd = c.Stats()
 		}
 	})
 	if sent.MsgsSent != 2 || sent.BytesSent != 150 {
@@ -298,7 +332,7 @@ func TestWindowNoZeroSizeMessages(t *testing.T) {
 			win.Put(0, []byte{42})
 		}
 		win.Fence()
-		stats[c.Rank()] = c.Stats
+		stats[c.Rank()] = c.Stats()
 	})
 	if stats[2].MsgsSent != 0 {
 		t.Errorf("idle rank sent %d messages", stats[2].MsgsSent)
@@ -523,6 +557,81 @@ func BenchmarkBarrier(b *testing.B) {
 	w.Run(func(c *Comm) {
 		for i := 0; i < b.N; i++ {
 			c.Barrier()
+		}
+	})
+}
+
+// TestStatsSymmetry drives every communication path — point-to-point,
+// Allreduce, Allgather, and one-sided Put/Fence — and asserts that the
+// world-global sent counters equal the world-global recv counters, both in
+// messages and bytes. Collectives used to count only the send side.
+func TestStatsSymmetry(t *testing.T) {
+	const n = 4
+	w := NewWorld(n)
+	stats := make([]Stats, n)
+	w.Run(func(c *Comm) {
+		// Point-to-point ring: each rank sends one variably-sized message.
+		next := (c.Rank() + 1) % n
+		c.Send(next, 7, make([]byte, 10*(c.Rank()+1)))
+		c.Recv(AnySource, 7)
+
+		c.Allreduce(Sum, 1, 2, 3)
+		c.Allgather(bytes.Repeat([]byte{byte(c.Rank())}, 5*(c.Rank()+1)))
+
+		win := NewWin(c)
+		if c.Rank()%2 == 0 {
+			win.Put((c.Rank()+1)%n, make([]byte, 64))
+		}
+		win.Fence()
+
+		stats[c.Rank()] = c.Stats()
+	})
+	var total Stats
+	for r, s := range stats {
+		if s.MsgsSent == 0 || s.MsgsRecv == 0 {
+			t.Errorf("rank %d saw no traffic in some direction: %+v", r, s)
+		}
+		total.Add(s)
+	}
+	if total.MsgsSent != total.MsgsRecv {
+		t.Errorf("global MsgsSent %d != MsgsRecv %d", total.MsgsSent, total.MsgsRecv)
+	}
+	if total.BytesSent != total.BytesRecv {
+		t.Errorf("global BytesSent %d != BytesRecv %d", total.BytesSent, total.BytesRecv)
+	}
+}
+
+// TestAttachTelemetry checks the per-path counter funcs read the live
+// atomics and that totals match the Stats snapshot.
+func TestAttachTelemetry(t *testing.T) {
+	w := NewWorld(2)
+	w.Run(func(c *Comm) {
+		reg := telemetry.New(c.Rank())
+		c.AttachTelemetry(reg)
+		if c.Rank() == 0 {
+			c.Send(1, 0, make([]byte, 100))
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Allreduce(Sum, 1)
+		c.Barrier()
+		snap := reg.Snapshot()
+		vals := make(map[string]int64)
+		for _, m := range snap.Metrics {
+			vals[m.Name] = m.Value
+		}
+		if c.Rank() == 0 && vals["mpi/p2p/bytes-sent"] != 100 {
+			t.Errorf("rank 0 p2p bytes-sent = %d, want 100", vals["mpi/p2p/bytes-sent"])
+		}
+		if c.Rank() == 1 && vals["mpi/p2p/bytes-recv"] != 100 {
+			t.Errorf("rank 1 p2p bytes-recv = %d, want 100", vals["mpi/p2p/bytes-recv"])
+		}
+		if vals["mpi/coll/bytes-sent"] != 8 || vals["mpi/coll/bytes-recv"] != 8 {
+			t.Errorf("coll bytes = %d/%d, want 8/8", vals["mpi/coll/bytes-sent"], vals["mpi/coll/bytes-recv"])
+		}
+		st := c.Stats()
+		if vals["mpi/bytes-sent"] != st.BytesSent || vals["mpi/bytes-recv"] != st.BytesRecv {
+			t.Errorf("totals %d/%d do not match Stats %+v", vals["mpi/bytes-sent"], vals["mpi/bytes-recv"], st)
 		}
 	})
 }

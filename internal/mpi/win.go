@@ -80,8 +80,7 @@ func (w *Win) Put(to int, data []byte) {
 	q.mu.lock()
 	q.puts = append(q.puts, PutMsg{Source: w.comm.rank, Data: cp})
 	q.mu.unlock()
-	w.comm.Stats.MsgsSent++
-	w.comm.Stats.BytesSent += int64(len(data))
+	w.comm.win.sent(1, int64(len(data)))
 }
 
 // Fence closes the current access epoch and returns the payloads put at this
@@ -100,8 +99,7 @@ func (w *Win) Fence() []PutMsg {
 	w.comm.Barrier()
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Source < out[j].Source })
 	for _, m := range out {
-		w.comm.Stats.MsgsRecv++
-		w.comm.Stats.BytesRecv += int64(len(m.Data))
+		w.comm.win.recv(1, int64(len(m.Data)))
 	}
 	return out
 }

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gatherer is the collective the rank aggregation runs over. mpi.Comm
+// satisfies it; the indirection keeps this package dependency-free (so the
+// mpi package itself can import telemetry without a cycle).
+type Gatherer interface {
+	Rank() int
+	Allgather(data []byte) [][]byte
+}
+
+// AggMetric is one metric aggregated across ranks. For counters and gauges
+// the per-rank statistic is the value; for timers it is the rank's total
+// time in the phase (sum of its observations), with the per-observation
+// extremes carried separately.
+type AggMetric struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+
+	Sum  float64 `json:"sum"`  // total across ranks (ns for timers)
+	Min  float64 `json:"min"`  // smallest per-rank statistic
+	Max  float64 `json:"max"`  // largest per-rank statistic
+	Mean float64 `json:"mean"` // Sum / ranks
+
+	Count    int64 `json:"count,omitempty"`      // timers: total observations
+	MinObsNS int64 `json:"min_obs_ns,omitempty"` // timers: fastest single span
+	MaxObsNS int64 `json:"max_obs_ns,omitempty"` // timers: slowest single span
+}
+
+// Imbalance returns Max/Mean — 1.0 when every rank spent identical time or
+// count in the metric, and (imbalance-1) is the fraction of the critical
+// path spent waiting on the most loaded rank.
+func (m *AggMetric) Imbalance() float64 {
+	if m.Mean <= 0 {
+		return 1
+	}
+	return m.Max / m.Mean
+}
+
+// Report is the measured end-of-run scaling artifact: every metric
+// min/mean/max-aggregated across ranks — the live counterpart of the
+// analytic models in internal/perf.
+type Report struct {
+	Ranks   int         `json:"ranks"`
+	Metrics []AggMetric `json:"metrics"`
+}
+
+// Aggregate collectively merges every rank's registry into a Report,
+// identical on all ranks. Each rank snapshots its own registry first and
+// then Allgathers the snapshots, so the aggregation's own communication is
+// never counted. Metrics missing on a rank contribute zero. All ranks of
+// the gatherer must call it together; reg may be nil (that rank contributes
+// an empty snapshot).
+func Aggregate(g Gatherer, reg *Registry) (*Report, error) {
+	snap := reg.Snapshot()
+	snap.Rank = g.Rank() // a nil registry does not know its rank
+	data, err := json.Marshal(snap)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: encoding snapshot: %w", err)
+	}
+	all := g.Allgather(data)
+	byName := make(map[string]*AggMetric)
+	seen := make(map[string]int)
+	for _, buf := range all {
+		var s Snapshot
+		if err := json.Unmarshal(buf, &s); err != nil {
+			return nil, fmt.Errorf("telemetry: decoding peer snapshot: %w", err)
+		}
+		for _, m := range s.Metrics {
+			stat := float64(m.Value)
+			if m.Kind == "timer" {
+				stat = float64(m.SumNS)
+			}
+			a, ok := byName[m.Name]
+			if !ok {
+				a = &AggMetric{Name: m.Name, Kind: m.Kind, Min: stat, Max: stat}
+				byName[m.Name] = a
+			}
+			seen[m.Name]++
+			a.Sum += stat
+			if stat < a.Min {
+				a.Min = stat
+			}
+			if stat > a.Max {
+				a.Max = stat
+			}
+			if m.Kind == "timer" {
+				a.Count += m.Count
+				if m.MaxNS > a.MaxObsNS {
+					a.MaxObsNS = m.MaxNS
+				}
+				if a.MinObsNS == 0 || (m.MinNS > 0 && m.MinNS < a.MinObsNS) {
+					a.MinObsNS = m.MinNS
+				}
+			}
+		}
+	}
+	rep := &Report{Ranks: len(all)}
+	for name, a := range byName {
+		// A metric absent on some rank still averages over all ranks, and
+		// its Min must account for the silent zeros.
+		if seen[name] < len(all) && a.Min > 0 {
+			a.Min = 0
+		}
+		a.Mean = a.Sum / float64(len(all))
+		rep.Metrics = append(rep.Metrics, *a)
+	}
+	sort.Slice(rep.Metrics, func(i, j int) bool { return rep.Metrics[i].Name < rep.Metrics[j].Name })
+	return rep, nil
+}
+
+// Metric returns the aggregated metric with the given name, or nil.
+func (r *Report) Metric(name string) *AggMetric {
+	if r == nil {
+		return nil
+	}
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == name {
+			return &r.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// CounterSum returns the cross-rank sum of a counter (0 when absent) — the
+// convenience accessor the measured comm-volume contrasts read.
+func (r *Report) CounterSum(name string) int64 {
+	if m := r.Metric(name); m != nil {
+		return int64(m.Sum)
+	}
+	return 0
+}
+
+// String renders the report as the paper-style per-phase breakdown: timers
+// first (the phase-time table behind Figures 10/11/14/15), then counters
+// (the comm-volume table behind Figures 12/13), each with min/mean/max
+// across ranks.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "telemetry report (%d rank(s))\n", r.Ranks)
+	var timers, counters []AggMetric
+	for _, m := range r.Metrics {
+		if m.Kind == "timer" {
+			timers = append(timers, m)
+		} else {
+			counters = append(counters, m)
+		}
+	}
+	if len(timers) > 0 {
+		fmt.Fprintf(&b, "  %-34s %10s %12s %12s %12s %12s %6s\n",
+			"phase", "count", "total", "rank-min", "rank-mean", "rank-max", "imbal")
+		for _, m := range timers {
+			fmt.Fprintf(&b, "  %-34s %10d %12s %12s %12s %12s %6.2f\n",
+				m.Name, m.Count, fmtDuration(m.Sum), fmtDuration(m.Min),
+				fmtDuration(m.Mean), fmtDuration(m.Max), m.Imbalance())
+		}
+	}
+	if len(counters) > 0 {
+		fmt.Fprintf(&b, "  %-34s %12s %12s %12s %12s\n",
+			"counter", "sum", "rank-min", "rank-mean", "rank-max")
+		for _, m := range counters {
+			fmt.Fprintf(&b, "  %-34s %12s %12s %12s %12s\n",
+				m.Name, fmtCount(m.Sum), fmtCount(m.Min), fmtCount(m.Mean), fmtCount(m.Max))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,285 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options configures a run's telemetry. The zero value disables everything.
+// Options never enter any configuration hash — like the md Workers knob,
+// telemetry is a pure observability setting and a checkpointed run may
+// legally resume with different options (the determinism test asserts the
+// trajectory cannot tell).
+type Options struct {
+	// Enabled turns the subsystem on; when false NewSet returns a nil Set,
+	// whose every method is a no-op.
+	Enabled bool
+	// JSONLPath, when non-empty, receives one JSON line per rank per flush
+	// plus the final aggregated report line.
+	JSONLPath string
+	// FlushEvery is the periodic flush cadence in MD steps / KMC cycles;
+	// <= 0 flushes only at stage boundaries and on Close.
+	FlushEvery int
+	// HTTPAddr, when non-empty, serves a Prometheus-style text exposition of
+	// all ranks' live metrics on GET <addr>/metrics.
+	HTTPAddr string
+}
+
+// Set owns the per-rank registries of one run plus the output sinks. A nil
+// *Set is a valid disabled set: Rank returns nil registries and every other
+// method is a no-op, so drivers thread it unconditionally.
+type Set struct {
+	opts  Options
+	regs  []*Registry
+	start time.Time
+
+	mu  sync.Mutex
+	f   *os.File
+	bw  *bufio.Writer
+	seq int
+
+	srv *http.Server
+	ln  net.Listener
+}
+
+// NewSet creates the registries and opens the configured sinks for a run of
+// the given rank count. A disabled Options returns (nil, nil).
+func NewSet(ranks int, opts Options) (*Set, error) {
+	if !opts.Enabled {
+		return nil, nil
+	}
+	if ranks <= 0 {
+		return nil, fmt.Errorf("telemetry: non-positive rank count %d", ranks)
+	}
+	s := &Set{opts: opts, regs: make([]*Registry, ranks), start: time.Now()}
+	for i := range s.regs {
+		s.regs[i] = New(i)
+	}
+	if opts.JSONLPath != "" {
+		f, err := os.Create(opts.JSONLPath)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: creating JSONL sink: %w", err)
+		}
+		s.f = f
+		s.bw = bufio.NewWriter(f)
+	}
+	if opts.HTTPAddr != "" {
+		ln, err := net.Listen("tcp", opts.HTTPAddr)
+		if err != nil {
+			s.closeFile()
+			return nil, fmt.Errorf("telemetry: metrics listener: %w", err)
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			s.WriteProm(w)
+		})
+		s.ln = ln
+		s.srv = &http.Server{Handler: mux}
+		go s.srv.Serve(ln) //nolint:errcheck — Serve returns on Close
+	}
+	return s, nil
+}
+
+// Rank returns rank i's registry (nil on a nil or disabled set).
+func (s *Set) Rank(i int) *Registry {
+	if s == nil || i < 0 || i >= len(s.regs) {
+		return nil
+	}
+	return s.regs[i]
+}
+
+// Ranks returns the number of per-rank registries (0 on a nil set).
+func (s *Set) Ranks() int {
+	if s == nil {
+		return 0
+	}
+	return len(s.regs)
+}
+
+// MetricsAddr returns the bound address of the HTTP exposition listener
+// (useful when Options.HTTPAddr used port 0), or "" when none is serving.
+func (s *Set) MetricsAddr() string {
+	if s == nil || s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// FlushDue reports whether the periodic cadence calls for a flush after the
+// given step/cycle. Deterministic in step, so rank 0 of a run can drive it.
+func (s *Set) FlushDue(step int) bool {
+	return s != nil && s.opts.FlushEvery > 0 && step > 0 && step%s.opts.FlushEvery == 0
+}
+
+// jsonlLine is the wire form of one flushed snapshot.
+type jsonlLine struct {
+	Type      string   `json:"type"` // "snapshot"
+	Label     string   `json:"label,omitempty"`
+	Seq       int      `json:"seq"`
+	ElapsedMS int64    `json:"elapsed_ms"`
+	Rank      int      `json:"rank"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+// jsonlReport is the wire form of the final aggregated report line.
+type jsonlReport struct {
+	Type      string      `json:"type"` // "report"
+	ElapsedMS int64       `json:"elapsed_ms"`
+	Ranks     int         `json:"ranks"`
+	Metrics   []AggMetric `json:"metrics"`
+}
+
+// Flush writes one JSONL snapshot line per rank. Any single goroutine may
+// call it (rank 0 drives the periodic cadence); the registries are read
+// atomically, so concurrent recording on other ranks is safe. No-op without
+// a JSONL sink.
+func (s *Set) Flush(label string) error {
+	if s == nil || s.bw == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	elapsed := time.Since(s.start).Milliseconds()
+	enc := json.NewEncoder(s.bw)
+	for _, reg := range s.regs {
+		snap := reg.Snapshot()
+		line := jsonlLine{
+			Type: "snapshot", Label: label, Seq: s.seq,
+			ElapsedMS: elapsed, Rank: snap.Rank, Metrics: snap.Metrics,
+		}
+		if err := enc.Encode(&line); err != nil {
+			return fmt.Errorf("telemetry: writing snapshot: %w", err)
+		}
+	}
+	return s.bw.Flush()
+}
+
+// WriteReport appends the aggregated report as the final JSONL line. No-op
+// without a JSONL sink.
+func (s *Set) WriteReport(rep *Report) error {
+	if s == nil || s.bw == nil || rep == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	line := jsonlReport{
+		Type: "report", ElapsedMS: time.Since(s.start).Milliseconds(),
+		Ranks: rep.Ranks, Metrics: rep.Metrics,
+	}
+	if err := json.NewEncoder(s.bw).Encode(&line); err != nil {
+		return fmt.Errorf("telemetry: writing report: %w", err)
+	}
+	return s.bw.Flush()
+}
+
+// Close flushes a final snapshot, closes the JSONL sink, and stops the HTTP
+// listener. Safe on a nil set and idempotent.
+func (s *Set) Close() error {
+	if s == nil {
+		return nil
+	}
+	err := s.Flush("final")
+	if cerr := s.closeFile(); err == nil {
+		err = cerr
+	}
+	if s.srv != nil {
+		s.srv.Close()
+		s.srv = nil
+	}
+	return err
+}
+
+func (s *Set) closeFile() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.f == nil {
+		return nil
+	}
+	err := s.bw.Flush()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	s.f, s.bw = nil, nil
+	return err
+}
+
+// promName sanitizes a hierarchical metric path into a Prometheus metric
+// name: "md/ghost/pack" -> "mdkmc_md_ghost_pack".
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString("mdkmc_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders every rank's metrics in the Prometheus text exposition
+// format: counters and gauges as one sample per rank, timers as
+// _ns_sum/_count pairs plus a cumulative _ns_bucket histogram.
+func (s *Set) WriteProm(w io.Writer) {
+	if s == nil {
+		return
+	}
+	// Group samples by metric name so each # TYPE header appears once.
+	type sample struct {
+		rank int
+		m    Metric
+	}
+	byName := make(map[string][]sample)
+	var names []string
+	for _, reg := range s.regs {
+		snap := reg.Snapshot()
+		for _, m := range snap.Metrics {
+			if _, ok := byName[m.Name]; !ok {
+				names = append(names, m.Name)
+			}
+			byName[m.Name] = append(byName[m.Name], sample{rank: snap.Rank, m: m})
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		samples := byName[name]
+		pn := promName(name)
+		switch samples[0].m.Kind {
+		case "gauge":
+			fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+			for _, s := range samples {
+				fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", pn, s.rank, s.m.Value)
+			}
+		case "timer":
+			fmt.Fprintf(w, "# TYPE %s_ns histogram\n", pn)
+			for _, s := range samples {
+				cum := int64(0)
+				for _, b := range s.m.Buckets {
+					cum += b.Count
+					fmt.Fprintf(w, "%s_ns_bucket{rank=\"%d\",le=\"%d\"} %d\n", pn, s.rank, b.LeNS, cum)
+				}
+				fmt.Fprintf(w, "%s_ns_bucket{rank=\"%d\",le=\"+Inf\"} %d\n", pn, s.rank, s.m.Count)
+				fmt.Fprintf(w, "%s_ns_sum{rank=\"%d\"} %d\n", pn, s.rank, s.m.SumNS)
+				fmt.Fprintf(w, "%s_ns_count{rank=\"%d\"} %d\n", pn, s.rank, s.m.Count)
+			}
+		default:
+			fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+			for _, s := range samples {
+				fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", pn, s.rank, s.m.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,371 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New(0)
+	c := r.Counter("a/bytes")
+	c.Add(10)
+	c.Inc()
+	if got := c.Value(); got != 11 {
+		t.Fatalf("counter = %d, want 11", got)
+	}
+	if again := r.Counter("a/bytes"); again != c {
+		t.Fatalf("second registration returned a different counter")
+	}
+	g := r.Gauge("a/depth")
+	g.Set(7)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x")
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Fatalf("nil counter must read 0")
+	}
+	g := r.Gauge("y")
+	g.Set(9)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge must read 0")
+	}
+	tm := r.Timer("z")
+	sp := tm.Begin()
+	sp.End()
+	tm.Observe(time.Second)
+	r.CounterFunc("f", func() int64 { return 1 })
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 0 || snap.Rank != -1 {
+		t.Fatalf("nil registry snapshot = %+v", snap)
+	}
+	var s *Set
+	if s.Rank(0) != nil || s.Ranks() != 0 || s.FlushDue(10) || s.MetricsAddr() != "" {
+		t.Fatalf("nil set accessors must be inert")
+	}
+	if err := s.Flush("x"); err != nil {
+		t.Fatalf("nil set Flush: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("nil set Close: %v", err)
+	}
+}
+
+func TestTimerStats(t *testing.T) {
+	r := New(0)
+	tm := r.Timer("phase")
+	tm.Observe(100 * time.Nanosecond)
+	tm.Observe(1000 * time.Nanosecond)
+	tm.Observe(10 * time.Nanosecond)
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 {
+		t.Fatalf("got %d metrics, want 1", len(snap.Metrics))
+	}
+	m := snap.Metrics[0]
+	if m.Kind != "timer" || m.Count != 3 || m.SumNS != 1110 || m.MinNS != 10 || m.MaxNS != 1000 {
+		t.Fatalf("timer metric = %+v", m)
+	}
+	var total int64
+	for _, b := range m.Buckets {
+		total += b.Count
+		if b.LeNS < 1 {
+			t.Fatalf("bucket bound %d < 1", b.LeNS)
+		}
+	}
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d, want 3", total)
+	}
+	// 100 ns has bits.Len64 == 7, bound 2^7-1 = 127.
+	found := false
+	for _, b := range m.Buckets {
+		if b.LeNS == 127 && b.Count == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("expected a le_ns=127 bucket with one observation; got %+v", m.Buckets)
+	}
+}
+
+func TestHotPathAllocFree(t *testing.T) {
+	r := New(0)
+	c := r.Counter("bytes")
+	tm := r.Timer("phase")
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(4)
+		sp := tm.Begin()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v times per op, want 0", n)
+	}
+	// Disabled-path (nil handles) must also be alloc-free.
+	var nr *Registry
+	nc := nr.Counter("bytes")
+	nt := nr.Timer("phase")
+	if n := testing.AllocsPerRun(100, func() {
+		nc.Add(4)
+		sp := nt.Begin()
+		sp.End()
+	}); n != 0 {
+		t.Fatalf("nil hot path allocates %v times per op, want 0", n)
+	}
+}
+
+func TestConcurrentObserve(t *testing.T) {
+	r := New(0)
+	c := r.Counter("n")
+	tm := r.Timer("t")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				tm.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	snap := r.Snapshot()
+	for _, m := range snap.Metrics {
+		if m.Kind == "timer" && m.Count != 8000 {
+			t.Fatalf("timer count = %d, want 8000", m.Count)
+		}
+	}
+}
+
+func TestCounterFunc(t *testing.T) {
+	r := New(2)
+	v := int64(0)
+	r.CounterFunc("ext/bytes", func() int64 { return v })
+	r.CounterFunc("ext/bytes", func() int64 { return -1 }) // first registration wins
+	v = 42
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 1 || snap.Metrics[0].Value != 42 || snap.Metrics[0].Kind != "counter" {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+// fakeGatherer runs Aggregate over in-memory "ranks" without the mpi package.
+type fakeGatherer struct {
+	rank int
+	in   chan []byte
+	out  chan [][]byte
+}
+
+func newFakeWorld(n int) []*fakeGatherer {
+	in := make(chan []byte, n)
+	gs := make([]*fakeGatherer, n)
+	outs := make([]chan [][]byte, n)
+	for i := range gs {
+		outs[i] = make(chan [][]byte, 1)
+		gs[i] = &fakeGatherer{rank: i, in: in, out: outs[i]}
+	}
+	go func() {
+		bufs := make(map[int][]byte)
+		for len(bufs) < n {
+			var msg struct {
+				Rank int `json:"rank"`
+			}
+			b := <-in
+			json.Unmarshal(b, &msg)
+			bufs[msg.Rank] = b
+		}
+		all := make([][]byte, n)
+		for i := range all {
+			all[i] = bufs[i]
+		}
+		for i := range outs {
+			outs[i] <- all
+		}
+	}()
+	return gs
+}
+
+func (g *fakeGatherer) Rank() int { return g.rank }
+func (g *fakeGatherer) Allgather(data []byte) [][]byte {
+	g.in <- data
+	return <-g.out
+}
+
+func TestAggregate(t *testing.T) {
+	world := newFakeWorld(3)
+	regs := []*Registry{New(0), New(1), New(2)}
+	for i, r := range regs {
+		r.Counter("bytes").Add(int64(100 * (i + 1)))
+		r.Timer("phase").Observe(time.Duration(1000 * (i + 1)))
+	}
+	// Metric present on only one rank: Min must clamp to 0.
+	regs[1].Counter("rare").Add(50)
+
+	var wg sync.WaitGroup
+	reports := make([]*Report, 3)
+	errs := make([]error, 3)
+	for i := range world {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i], errs[i] = Aggregate(world[i], regs[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	rep := reports[0]
+	if rep.Ranks != 3 {
+		t.Fatalf("ranks = %d", rep.Ranks)
+	}
+	b := rep.Metric("bytes")
+	if b == nil || b.Sum != 600 || b.Min != 100 || b.Max != 300 || b.Mean != 200 {
+		t.Fatalf("bytes agg = %+v", b)
+	}
+	if rep.CounterSum("bytes") != 600 {
+		t.Fatalf("CounterSum = %d", rep.CounterSum("bytes"))
+	}
+	ph := rep.Metric("phase")
+	if ph == nil || ph.Count != 3 || ph.Sum != 6000 || ph.MinObsNS != 1000 || ph.MaxObsNS != 3000 {
+		t.Fatalf("phase agg = %+v", ph)
+	}
+	if got := ph.Imbalance(); got < 1.49 || got > 1.51 {
+		t.Fatalf("imbalance = %v, want 1.5", got)
+	}
+	rare := rep.Metric("rare")
+	if rare == nil || rare.Min != 0 || rare.Max != 50 {
+		t.Fatalf("rare agg = %+v (Min must clamp to 0 for absent ranks)", rare)
+	}
+	// All ranks must agree.
+	for i := 1; i < 3; i++ {
+		a, _ := json.Marshal(reports[0])
+		b, _ := json.Marshal(reports[i])
+		if string(a) != string(b) {
+			t.Fatalf("rank %d report differs from rank 0", i)
+		}
+	}
+	if s := rep.String(); !strings.Contains(s, "phase") || !strings.Contains(s, "bytes") {
+		t.Fatalf("report text missing metrics:\n%s", s)
+	}
+}
+
+func TestSetJSONL(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.jsonl")
+	s, err := NewSet(2, Options{Enabled: true, JSONLPath: path, FlushEvery: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Ranks() != 2 {
+		t.Fatalf("Ranks = %d", s.Ranks())
+	}
+	s.Rank(0).Counter("bytes").Add(10)
+	s.Rank(1).Counter("bytes").Add(20)
+	s.Rank(0).Timer("phase").Observe(time.Millisecond)
+	if s.FlushDue(4) || !s.FlushDue(5) || s.FlushDue(0) {
+		t.Fatalf("FlushDue cadence wrong")
+	}
+	if err := s.Flush("step-5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.WriteReport(&Report{Ranks: 2, Metrics: []AggMetric{{Name: "bytes", Kind: "counter", Sum: 30, Min: 10, Max: 20, Mean: 15}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var snapshots, reports int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("unparseable JSONL line: %v\n%s", err, sc.Text())
+		}
+		switch line["type"] {
+		case "snapshot":
+			snapshots++
+		case "report":
+			reports++
+		default:
+			t.Fatalf("unknown line type %v", line["type"])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// One explicit flush + the Close flush, 2 ranks each.
+	if snapshots != 4 || reports != 1 {
+		t.Fatalf("snapshots=%d reports=%d, want 4 and 1", snapshots, reports)
+	}
+}
+
+func TestSetDisabled(t *testing.T) {
+	s, err := NewSet(4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != nil {
+		t.Fatalf("disabled options must yield a nil set")
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	s, err := NewSet(1, Options{Enabled: true, HTTPAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.Rank(0).Counter("md/ghost/bytes-sent").Add(123)
+	s.Rank(0).Timer("md/step").Observe(2 * time.Microsecond)
+	addr := s.MetricsAddr()
+	if addr == "" {
+		t.Fatalf("no metrics address bound")
+	}
+	resp, err := http.Get("http://" + addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		sb.WriteString(sc.Text())
+		sb.WriteByte('\n')
+	}
+	body := sb.String()
+	for _, want := range []string{
+		"# TYPE mdkmc_md_ghost_bytes_sent counter",
+		`mdkmc_md_ghost_bytes_sent{rank="0"} 123`,
+		"# TYPE mdkmc_md_step_ns histogram",
+		`mdkmc_md_step_ns_count{rank="0"} 1`,
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
