@@ -5,15 +5,38 @@
 
 GO ?= go
 
-.PHONY: check build test vet race recovery bench-kmc bench-md bench-json smoke smoke-telemetry fuzz-setfl figures
+# Pinned third-party analyzer versions (installed on demand — CI has
+# network; offline dev boxes use `make lint`, which is stdlib-only).
+STATICCHECK_VERSION ?= 2023.1.7
+GOVULNCHECK_VERSION ?= v1.1.3
 
-check: vet build race
+.PHONY: check build test vet lint staticcheck govulncheck race recovery bench-kmc bench-md bench-json smoke smoke-telemetry fuzz-setfl figures
+
+check: vet lint build race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Domain-specific static analysis (DESIGN.md §12): the mdvet suite enforces
+# the determinism and collective-symmetry contracts. Driving it through
+# `go vet -vettool` covers _test.go files too and caches per package.
+bin/mdvet: $(wildcard cmd/mdvet/*.go internal/analysis/*.go internal/analysis/*/*.go)
+	$(GO) build -o bin/mdvet ./cmd/mdvet
+
+lint: bin/mdvet
+	$(GO) vet -vettool=$(CURDIR)/bin/mdvet ./...
+
+# Third-party analyzers, pinned. These download the tool on first use, so
+# they are CI-only gates (the offline dev image cannot fetch them); new
+# findings fail the build.
+staticcheck:
+	$(GO) run honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION) ./...
+
+govulncheck:
+	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 test:
 	$(GO) test ./...

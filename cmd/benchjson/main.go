@@ -189,7 +189,8 @@ func checkJSONL(path string, required []string) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		// lineNo is the last fully scanned line; the failure is on the next.
+		return fmt.Errorf("%s:%d: reading: %v", path, lineNo+1, err)
 	}
 	if snapshots == 0 {
 		return fmt.Errorf("%s: no snapshot lines", path)

@@ -1,0 +1,28 @@
+package main
+
+import (
+	"testing"
+
+	"mdkmc/internal/analysis"
+)
+
+// TestTreeIsClean runs the full mdvet suite over every package of the
+// module: the contracts the analyzers encode must hold in the tree itself,
+// so any finding here is a regression (or needs a reasoned
+// //mdvet:ignore).
+func TestTreeIsClean(t *testing.T) {
+	pkgs, err := analysis.Load("mdkmc/...")
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loader returned no packages")
+	}
+	diags, err := analysis.Check(pkgs, analyzers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

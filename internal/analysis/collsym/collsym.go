@@ -1,0 +1,411 @@
+// Package collsym implements the mdvet analyzer that enforces the
+// collective-symmetry contract: every rank of an mpi world must enter
+// every collective (Barrier, Allreduce, Allgather, Win.Fence, and any
+// function marked //mdvet:collective) in lockstep. A collective reached by
+// only some ranks is the mismatched-collective deadlock class — the
+// Allgather generation race fixed in PR 4 is the canonical specimen.
+//
+// Two shapes are flagged:
+//
+//  1. A collective call lexically guarded by a rank-dependent condition
+//     (`if c.Rank() == 0 { c.Barrier() }`): the guarded ranks block
+//     forever while the rest never arrive.
+//
+//  2. A rank-dependent early exit (return/break/continue) that skips a
+//     collective appearing later in the same function. Propagating a
+//     non-nil error upward is exempt: mpi.RunE converts a rank-local
+//     error return into a world abort that wakes every blocked survivor,
+//     so `if c.Rank() == 0 { ...; return err }` cannot strand peers. A
+//     bare `return nil` (or a return from a function without an error
+//     result) has no such safety net and is reported.
+//
+// A condition is considered rank-dependent when it contains a call to a
+// method named Rank or an identifier whose name contains "rank". The
+// else-branch of a rank-dependent if is equally asymmetric and is treated
+// the same as the then-branch.
+package collsym
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"mdkmc/internal/analysis"
+)
+
+// Analyzer is the collsym check.
+var Analyzer = &analysis.Analyzer{
+	Name: "collsym",
+	Doc:  "flag mpi collectives reachable only under rank-dependent control flow",
+	Run:  run,
+}
+
+// mpiPath is the package whose Comm/Win methods are the collective set.
+const mpiPath = "mdkmc/internal/mpi"
+
+// commCollectives are the collective methods of mpi.Comm.
+var commCollectives = map[string]bool{
+	"Barrier":   true,
+	"Allreduce": true,
+	"Allgather": true,
+	"Broadcast": true,
+	"Bcast":     true,
+}
+
+// knownCollectiveFuncs are cross-package functions documented as
+// collective (they communicate via collectives internally).
+var knownCollectiveFuncs = map[[2]string]bool{
+	{"mdkmc/internal/telemetry", "Aggregate"}: true,
+}
+
+func run(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(p, fn)
+		}
+	}
+	return nil
+}
+
+// collectiveName returns the display name of a collective call, or "".
+func collectiveName(p *analysis.Pass, call *ast.CallExpr) string {
+	var obj types.Object
+	var name string
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		obj = p.TypesInfo.Uses[fun.Sel]
+		name = fun.Sel.Name
+	case *ast.Ident:
+		obj = p.TypesInfo.Uses[fun]
+		name = fun.Name
+	default:
+		return ""
+	}
+	fobj, ok := obj.(*types.Func)
+	if !ok {
+		return ""
+	}
+	sig, ok := fobj.Type().(*types.Signature)
+	if !ok {
+		return ""
+	}
+	if recv := sig.Recv(); recv != nil {
+		named := namedOf(recv.Type())
+		if named == nil || named.Obj().Pkg() == nil || named.Obj().Pkg().Path() != mpiPath {
+			return ""
+		}
+		switch tn := named.Obj().Name(); {
+		case tn == "Comm" && commCollectives[name]:
+			return "Comm." + name
+		case tn == "Win" && name == "Fence":
+			return "Win.Fence"
+		}
+		return ""
+	}
+	if fobj.Pkg() != nil {
+		if knownCollectiveFuncs[[2]string{fobj.Pkg().Path(), name}] {
+			return fobj.Pkg().Name() + "." + name
+		}
+		// Same-package functions annotated //mdvet:collective.
+		if fobj.Pkg() == p.Pkg && p.Dirs.IsCollective(p.FuncDeclOf(fobj)) {
+			return name
+		}
+	}
+	return ""
+}
+
+func namedOf(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// rankDependent reports whether the expression reads the rank: a call to a
+// method named Rank, or any identifier containing "rank".
+func rankDependent(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
+				found = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "rank") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// funcScope tracks the innermost function literal/declaration during the
+// walk, so early exits and "later collectives" are matched within the
+// function the exit actually leaves.
+type funcScope struct {
+	node    ast.Node // *ast.FuncDecl or *ast.FuncLit
+	results *ast.FieldList
+	// collectives holds (position, name) of every collective call site in
+	// this function, in source order; filled by a pre-pass.
+	collectives []collSite
+}
+
+type collSite struct {
+	pos  token.Pos
+	name string
+}
+
+// checkFunc applies both rules to one top-level function.
+func checkFunc(p *analysis.Pass, fn *ast.FuncDecl) {
+	// Pre-pass: collective call sites per innermost function.
+	scopes := map[ast.Node]*funcScope{}
+	root := &funcScope{node: fn, results: fn.Type.Results}
+	scopes[fn] = root
+	var collect func(n ast.Node, fs *funcScope)
+	collect = func(n ast.Node, fs *funcScope) {
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == nil {
+				return false
+			}
+			if c == n {
+				return true
+			}
+			if lit, ok := c.(*ast.FuncLit); ok {
+				child := &funcScope{node: lit, results: lit.Type.Results}
+				scopes[lit] = child
+				collect(lit.Body, child)
+				return false
+			}
+			if call, ok := c.(*ast.CallExpr); ok {
+				if name := collectiveName(p, call); name != "" {
+					fs.collectives = append(fs.collectives, collSite{pos: call.Pos(), name: name})
+				}
+			}
+			return true
+		})
+	}
+	collect(fn.Body, root)
+
+	// Rule 1: collectives under rank-dependent control flow.
+	var visit func(n ast.Node, guarded bool)
+	visitList := func(list []ast.Stmt, guarded bool) {
+		for _, s := range list {
+			visit(s, guarded)
+		}
+	}
+	visit = func(n ast.Node, guarded bool) {
+		switch n := n.(type) {
+		case nil:
+		case *ast.IfStmt:
+			if n.Init != nil {
+				visit(n.Init, guarded)
+			}
+			g := guarded || rankDependent(n.Cond)
+			visit(n.Cond, guarded)
+			visit(n.Body, g)
+			if n.Else != nil {
+				visit(n.Else, g)
+			}
+		case *ast.SwitchStmt:
+			g := guarded || (n.Tag != nil && rankDependent(n.Tag))
+			for _, c := range n.Body.List {
+				cc := c.(*ast.CaseClause)
+				cg := g
+				for _, e := range cc.List {
+					if rankDependent(e) {
+						cg = true
+					}
+				}
+				visitList(cc.Body, cg)
+			}
+		case *ast.ForStmt:
+			g := guarded || (n.Cond != nil && rankDependent(n.Cond))
+			if n.Init != nil {
+				visit(n.Init, guarded)
+			}
+			visit(n.Body, g)
+		case *ast.CallExpr:
+			if name := collectiveName(p, n); name != "" && guarded {
+				p.Reportf(n.Pos(), "collective %s is guarded by a rank-dependent condition: every rank must enter it or none (mismatched-collective deadlock)", name)
+			}
+			for _, a := range n.Args {
+				visit(a, guarded)
+			}
+			visit(n.Fun, guarded)
+		case *ast.FuncLit:
+			// A literal's body executes when called, not where written; its
+			// own call sites are checked under the guard state where the
+			// literal appears, which is the common inline-closure case.
+			visit(n.Body, guarded)
+		default:
+			// Generic traversal preserving the guard state.
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == nil || c == n {
+					return true
+				}
+				switch c.(type) {
+				case *ast.IfStmt, *ast.SwitchStmt, *ast.ForStmt, *ast.CallExpr, *ast.FuncLit:
+					visit(c, guarded)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	visit(fn.Body, false)
+
+	// Rule 2: rank-dependent early exits that skip a later collective.
+	checkEarlyExits(p, fn, scopes)
+}
+
+// checkEarlyExits reports rank-guarded exits occurring before a collective
+// of the same function. For break/continue the relevant collectives are
+// those of the innermost enclosing loop: a rank that leaves (or shortcuts)
+// a loop containing a collective diverges from peers still iterating,
+// while breaking out of a collective-free loop toward a collective after
+// it is symmetric and fine.
+func checkEarlyExits(p *analysis.Pass, fn *ast.FuncDecl, scopes map[ast.Node]*funcScope) {
+	var fstack []ast.Node
+	fstack = append(fstack, fn)
+	var guardStack []bool
+	guardStack = append(guardStack, false)
+	var loopStack []ast.Node // innermost loops; nil marks a function boundary
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		switch n := n.(type) {
+		case nil:
+		case *ast.FuncLit:
+			fstack = append(fstack, n)
+			guardStack = append(guardStack, false)
+			loopStack = append(loopStack, nil)
+			walk(n.Body)
+			fstack = fstack[:len(fstack)-1]
+			guardStack = guardStack[:len(guardStack)-1]
+			loopStack = loopStack[:len(loopStack)-1]
+		case *ast.ForStmt:
+			loopStack = append(loopStack, n)
+			walk(n.Body)
+			loopStack = loopStack[:len(loopStack)-1]
+		case *ast.RangeStmt:
+			loopStack = append(loopStack, n)
+			walk(n.Body)
+			loopStack = loopStack[:len(loopStack)-1]
+		case *ast.IfStmt:
+			if n.Init != nil {
+				walk(n.Init)
+			}
+			g := guardStack[len(guardStack)-1]
+			guardStack[len(guardStack)-1] = g || rankDependent(n.Cond)
+			walk(n.Body)
+			if n.Else != nil {
+				walk(n.Else)
+			}
+			guardStack[len(guardStack)-1] = g
+		case *ast.ReturnStmt:
+			if guardStack[len(guardStack)-1] {
+				cur := fstack[len(fstack)-1]
+				if site, ok := collectiveAfter(scopes[cur], n.Pos()); ok && !propagatesError(p, scopes[cur], n) {
+					p.Reportf(n.Pos(), "rank-dependent early return skips collective %s at line %d: ranks taking this path never enter it (non-error returns have no RunE abort safety net)",
+						site.name, p.Fset.Position(site.pos).Line)
+				}
+			}
+		case *ast.BranchStmt:
+			if (n.Tok == token.BREAK || n.Tok == token.CONTINUE) && guardStack[len(guardStack)-1] {
+				if loop := innermostLoop(loopStack); loop != nil {
+					cur := fstack[len(fstack)-1]
+					if site, ok := collectiveWithin(scopes[cur], loop.Pos(), loop.End()); ok {
+						p.Reportf(n.Pos(), "rank-dependent %s in a loop containing collective %s (line %d): ranks taking this path diverge from the collective schedule",
+							n.Tok, site.name, p.Fset.Position(site.pos).Line)
+					}
+				}
+			}
+		default:
+			ast.Inspect(n, func(c ast.Node) bool {
+				if c == nil || c == n {
+					return true
+				}
+				switch c.(type) {
+				case *ast.FuncLit, *ast.IfStmt, *ast.ReturnStmt, *ast.BranchStmt,
+					*ast.ForStmt, *ast.RangeStmt:
+					walk(c)
+					return false
+				}
+				return true
+			})
+		}
+	}
+	walk(fn.Body)
+}
+
+// innermostLoop returns the nearest enclosing loop of the current
+// function, or nil (a nil entry marks a function-literal boundary).
+func innermostLoop(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i] == nil {
+			return nil
+		}
+		return stack[i]
+	}
+	return nil
+}
+
+// collectiveWithin returns a collective site of the scope inside [lo, hi].
+func collectiveWithin(fs *funcScope, lo, hi token.Pos) (collSite, bool) {
+	if fs == nil {
+		return collSite{}, false
+	}
+	for _, s := range fs.collectives {
+		if s.pos >= lo && s.pos <= hi {
+			return s, true
+		}
+	}
+	return collSite{}, false
+}
+
+// collectiveAfter returns the first collective site of the scope located
+// after pos.
+func collectiveAfter(fs *funcScope, pos token.Pos) (collSite, bool) {
+	if fs == nil {
+		return collSite{}, false
+	}
+	for _, s := range fs.collectives {
+		if s.pos > pos {
+			return s, true
+		}
+	}
+	return collSite{}, false
+}
+
+// propagatesError reports whether the return propagates a (presumed
+// non-nil) error: the enclosing function's last result is an error and the
+// returned expression for it is not the nil literal. Such returns abort
+// the mpi world via RunE, waking every rank blocked in a collective.
+func propagatesError(p *analysis.Pass, fs *funcScope, ret *ast.ReturnStmt) bool {
+	if fs == nil || fs.results == nil || len(fs.results.List) == 0 {
+		return false
+	}
+	last := fs.results.List[len(fs.results.List)-1]
+	t := p.TypesInfo.TypeOf(last.Type)
+	if t == nil || !types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	if len(ret.Results) == 0 {
+		// Naked return: the error named result may or may not be set;
+		// assume the author propagates it.
+		return true
+	}
+	lastExpr := ret.Results[len(ret.Results)-1]
+	if id, ok := lastExpr.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}

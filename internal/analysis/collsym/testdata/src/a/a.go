@@ -1,0 +1,127 @@
+// Package a exercises the collsym analyzer: collectives under
+// rank-dependent guards, rank-dependent early exits, and the sanctioned
+// idioms that must stay clean.
+package a
+
+import (
+	"mdkmc/internal/mpi"
+	"mdkmc/internal/telemetry"
+)
+
+func guardedBarrier(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		c.Barrier() // want "collective Comm.Barrier is guarded by a rank-dependent condition"
+	}
+}
+
+func guardedAllreduce(c *mpi.Comm, rank int) {
+	if rank == 0 {
+		c.Allreduce(nil, mpi.OpSum) // want "collective Comm.Allreduce is guarded by a rank-dependent condition"
+	}
+}
+
+func guardedElseBranch(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		_ = 1
+	} else {
+		c.Allgather(nil) // want "collective Comm.Allgather is guarded by a rank-dependent condition"
+	}
+}
+
+func guardedFence(w *mpi.Win, rank int) {
+	if rank > 0 {
+		w.Fence() // want "collective Win.Fence is guarded by a rank-dependent condition"
+	}
+}
+
+func guardedAggregate(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		telemetry.Aggregate(nil) // want "collective telemetry.Aggregate is guarded by a rank-dependent condition"
+	}
+}
+
+func guardedSwitch(c *mpi.Comm) {
+	switch c.Rank() {
+	case 0:
+		c.Barrier() // want "collective Comm.Barrier is guarded by a rank-dependent condition"
+	}
+}
+
+// symmetric is the sanctioned shape: every rank reaches every collective,
+// rank-dependent work stays collective-free.
+func symmetric(c *mpi.Comm) {
+	c.Barrier()
+	if c.Rank() == 0 {
+		println("root does extra local work")
+	}
+	c.Allreduce(nil, mpi.OpSum)
+}
+
+func earlyReturnSkips(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		return // want "rank-dependent early return skips collective Comm.Barrier"
+	}
+	c.Barrier()
+}
+
+func earlyNilReturn(c *mpi.Comm) error {
+	if c.Rank() == 0 {
+		return nil // want "rank-dependent early return skips collective Comm.Barrier"
+	}
+	c.Barrier()
+	return nil
+}
+
+// errorPropagation is exempt: mpi.RunE turns a rank-local non-nil error
+// return into a world abort that wakes every blocked peer.
+func errorPropagation(c *mpi.Comm, err error) error {
+	if c.Rank() == 0 && err != nil {
+		return err
+	}
+	c.Barrier()
+	return nil
+}
+
+// syncAll wraps the barrier; the annotation makes callers treat it as a
+// collective.
+//
+//mdvet:collective
+func syncAll(c *mpi.Comm) {
+	c.Barrier()
+}
+
+func guardedWrapped(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		syncAll(c) // want "collective syncAll is guarded by a rank-dependent condition"
+	}
+}
+
+func breakOutOfCollectiveLoop(c *mpi.Comm, rank int) {
+	for i := 0; i < 4; i++ {
+		if rank == i {
+			break // want "rank-dependent break in a loop containing collective Comm.Barrier"
+		}
+		c.Barrier()
+	}
+}
+
+// breakBeforeLaterCollective is fine: the loop the break leaves contains no
+// collective, and every rank still reaches the barrier after it.
+func breakBeforeLaterCollective(c *mpi.Comm, rank int) {
+	n := 0
+	for i := 0; i < 4; i++ {
+		if rank == i {
+			break
+		}
+		n++
+	}
+	_ = n
+	c.Barrier()
+}
+
+func suppressed(c *mpi.Comm) {
+	if c.Rank() == 0 {
+		//mdvet:ignore collsym single-rank sub-communicator, peers checked by caller
+		c.Barrier()
+	}
+}

@@ -1,0 +1,10 @@
+// Package telemetry is a fixture stub: collsym knows Aggregate is a
+// collective by this import path and name.
+package telemetry
+
+// Snapshot is a stand-in for the real per-rank metrics snapshot.
+type Snapshot struct{}
+
+// Aggregate is collective in the real package (it gathers snapshots over
+// the world communicator).
+func Aggregate(snaps []Snapshot) []Snapshot { return nil }

@@ -1,0 +1,129 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive comment prefixes. They use the Go directive-comment form
+// ("//mdvet:..." with no space), which gofmt never reflows.
+const (
+	ignoreDirective     = "//mdvet:ignore"
+	hotDirective        = "//mdvet:hot"
+	collectiveDirective = "//mdvet:collective"
+)
+
+type ignoreKey struct {
+	file string
+	line int
+}
+
+// Directives is the parsed set of //mdvet: comments of one package.
+type Directives struct {
+	// ignores maps a (file, line) to the analyzer names suppressed there.
+	// A directive on line L suppresses findings on L (trailing comment)
+	// and L+1 (full-line comment above the flagged statement).
+	ignores map[ignoreKey]map[string]bool
+	// hot and collective hold the body positions of annotated FuncDecls.
+	hot        map[token.Pos]bool
+	collective map[token.Pos]bool
+	bad        []Diagnostic
+}
+
+// NewDirectives scans the files' comments for //mdvet: directives.
+// Malformed directives (an ignore without an analyzer name and reason)
+// become diagnostics retrievable via Bad.
+func NewDirectives(fset *token.FileSet, files []*ast.File) *Directives {
+	d := &Directives{
+		ignores:    map[ignoreKey]map[string]bool{},
+		hot:        map[token.Pos]bool{},
+		collective: map[token.Pos]bool{},
+	}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d.parseComment(fset, c)
+			}
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Doc == nil {
+				continue
+			}
+			for _, c := range fn.Doc.List {
+				switch directiveName(c.Text) {
+				case hotDirective:
+					d.hot[fn.Pos()] = true
+				case collectiveDirective:
+					d.collective[fn.Pos()] = true
+				}
+			}
+		}
+	}
+	return d
+}
+
+// directiveName returns the matching directive prefix of a comment, or "".
+func directiveName(text string) string {
+	for _, p := range []string{ignoreDirective, hotDirective, collectiveDirective} {
+		if text == p || strings.HasPrefix(text, p+" ") {
+			return p
+		}
+	}
+	return ""
+}
+
+func (d *Directives) parseComment(fset *token.FileSet, c *ast.Comment) {
+	if directiveName(c.Text) != ignoreDirective {
+		return
+	}
+	rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignoreDirective))
+	fields := strings.Fields(rest)
+	pos := fset.Position(c.Pos())
+	if len(fields) < 2 {
+		d.bad = append(d.bad, Diagnostic{
+			Analyzer: "mdvet",
+			Pos:      pos,
+			Message:  "malformed //mdvet:ignore: want \"//mdvet:ignore <analyzer> <reason>\" (the reason is mandatory)",
+		})
+		return
+	}
+	key := ignoreKey{file: pos.Filename, line: pos.Line}
+	if d.ignores[key] == nil {
+		d.ignores[key] = map[string]bool{}
+	}
+	d.ignores[key][fields[0]] = true
+}
+
+// Ignored reports whether an //mdvet:ignore for the analyzer covers pos.
+func (d *Directives) Ignored(analyzer string, pos token.Position) bool {
+	if d == nil {
+		return false
+	}
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if set := d.ignores[ignoreKey{file: pos.Filename, line: line}]; set[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// IsHot reports whether fn carries //mdvet:hot in its doc comment.
+func (d *Directives) IsHot(fn *ast.FuncDecl) bool {
+	return d != nil && fn != nil && d.hot[fn.Pos()]
+}
+
+// IsCollective reports whether fn carries //mdvet:collective in its doc
+// comment.
+func (d *Directives) IsCollective(fn *ast.FuncDecl) bool {
+	return d != nil && fn != nil && d.collective[fn.Pos()]
+}
+
+// Bad returns one diagnostic per malformed directive.
+func (d *Directives) Bad() []Diagnostic {
+	if d == nil {
+		return nil
+	}
+	return d.bad
+}

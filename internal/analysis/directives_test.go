@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parseDirectives(t *testing.T, src string) *Directives {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewDirectives(fset, []*ast.File{f})
+}
+
+func TestIgnoreRequiresReason(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		bad  bool
+	}{
+		{"bare", "//mdvet:ignore", true},
+		{"analyzer only", "//mdvet:ignore collsym", true},
+		{"with reason", "//mdvet:ignore collsym caller holds a single-rank world", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := parseDirectives(t, "package p\n\nfunc f() {\n\t"+c.text+"\n\t_ = 1\n}\n")
+			bad := d.Bad()
+			if c.bad {
+				if len(bad) != 1 || !strings.Contains(bad[0].Message, "malformed //mdvet:ignore") {
+					t.Fatalf("want one malformed-directive diagnostic, got %v", bad)
+				}
+				return
+			}
+			if len(bad) != 0 {
+				t.Fatalf("unexpected diagnostics: %v", bad)
+			}
+		})
+	}
+}
+
+func TestIgnoreCoverage(t *testing.T) {
+	d := parseDirectives(t, `package p
+
+func f() {
+	//mdvet:ignore collsym reason text
+	_ = 1
+}
+`)
+	at := func(line int) token.Position { return token.Position{Filename: "fix.go", Line: line} }
+	if !d.Ignored("collsym", at(4)) {
+		t.Error("directive line itself not covered")
+	}
+	if !d.Ignored("collsym", at(5)) {
+		t.Error("line below the directive not covered")
+	}
+	if d.Ignored("collsym", at(6)) {
+		t.Error("directive must not leak past the next line")
+	}
+	if d.Ignored("maporder", at(5)) {
+		t.Error("directive must only suppress the named analyzer")
+	}
+}
+
+func TestHotAndCollectiveDirectives(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", `package p
+
+// kernel inner loop.
+//
+//mdvet:hot
+func hot() {}
+
+//mdvet:collective
+func coll() {}
+
+func plain() {}
+`, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDirectives(fset, []*ast.File{f})
+	fns := map[string]*ast.FuncDecl{}
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok {
+			fns[fn.Name.Name] = fn
+		}
+	}
+	if !d.IsHot(fns["hot"]) || d.IsHot(fns["coll"]) || d.IsHot(fns["plain"]) {
+		t.Error("IsHot must reflect exactly the //mdvet:hot doc comments")
+	}
+	if !d.IsCollective(fns["coll"]) || d.IsCollective(fns["hot"]) || d.IsCollective(fns["plain"]) {
+		t.Error("IsCollective must reflect exactly the //mdvet:collective doc comments")
+	}
+}

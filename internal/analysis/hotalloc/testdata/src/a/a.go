@@ -1,0 +1,83 @@
+// Package a exercises the hotalloc analyzer: allocation hazards inside
+// //mdvet:hot functions versus the allowed local-closure kernel idiom.
+package a
+
+import (
+	"fmt"
+
+	"mdkmc/internal/telemetry"
+)
+
+//mdvet:hot
+func hotDefer(t *telemetry.Timer) {
+	sp := t.Begin()
+	defer sp.End() // want "defer in //mdvet:hot function hotDefer"
+}
+
+//mdvet:hot
+func hotGoroutine(work []float64) {
+	go func() { // want "goroutine launch in //mdvet:hot function hotGoroutine"
+		_ = work
+	}()
+}
+
+//mdvet:hot
+func hotClosureReturned() func() int {
+	x := 0
+	return func() int { // want "capturing closure returned from the function in //mdvet:hot function hotClosureReturned"
+		x++
+		return x
+	}
+}
+
+type callbacks struct{ fn func() }
+
+//mdvet:hot
+func hotClosureStored(x int) callbacks {
+	return callbacks{fn: func() { _ = x }} // want "capturing closure stored in a composite literal in //mdvet:hot function hotClosureStored"
+}
+
+// hotLocalHelper is the sanctioned kernel idiom: a closure bound to a plain
+// local or passed directly as a call argument stays on the stack.
+//
+//mdvet:hot
+func hotLocalHelper(vals []float64, scale float64) float64 {
+	mul := func(v float64) float64 { return v * scale }
+	sum := 0.0
+	each(vals, func(v float64) { sum += mul(v) })
+	return sum
+}
+
+func each(vals []float64, fn func(float64)) {
+	for _, v := range vals {
+		fn(v)
+	}
+}
+
+//mdvet:hot
+func hotSpanAddress(t *telemetry.Timer) {
+	sp := t.Begin()
+	p := &sp // want "address of telemetry.Span in //mdvet:hot function hotSpanAddress"
+	_ = p
+	sp.End()
+}
+
+//mdvet:hot
+func hotSpanBoxed(t *telemetry.Timer) {
+	sp := t.Begin()
+	fmt.Println(sp) // want "telemetry.Span passed as"
+	sp.End()
+}
+
+// coldDefer is fine: the function is not marked hot.
+func coldDefer(t *telemetry.Timer) {
+	sp := t.Begin()
+	defer sp.End()
+}
+
+//mdvet:hot
+func hotSuppressed(t *telemetry.Timer) {
+	sp := t.Begin()
+	//mdvet:ignore hotalloc teardown path, the measured region ended above
+	defer sp.End()
+}

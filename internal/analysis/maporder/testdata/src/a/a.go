@@ -1,0 +1,95 @@
+// Package a exercises the maporder analyzer: order-sensitive work inside
+// map iteration versus the sanctioned collect-then-sort idiom.
+package a
+
+import "sort"
+
+func floatAccumulation(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "floating-point accumulation into total inside a map range"
+	}
+	return total
+}
+
+// intAccumulation is fine: integer addition is associative, so iteration
+// order cannot change the sum.
+func intAccumulation(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func unsortedAppend(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside a map range without a later sort"
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom: the random append order is
+// repaired by the sort before anything consumes the slice.
+func collectThenSort(m map[int]float64) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// perIterationSlice is fine: row is declared inside the range statement,
+// so its element order comes from the deterministic inner loop, not from
+// the map.
+func perIterationSlice(m map[int][]int) int {
+	n := 0
+	for _, vs := range m {
+		var row []int
+		for _, v := range vs {
+			row = append(row, v)
+		}
+		n += len(row)
+	}
+	return n
+}
+
+type packer struct{}
+
+func (packer) Put(b []byte)  {}
+func (packer) Send(b []byte) {}
+
+func packInMapOrder(m map[int][]byte, p packer) {
+	for _, v := range m {
+		p.Put(v) // want "Put called inside a map range"
+	}
+}
+
+func sendInMapOrder(m map[int][]byte, p packer) {
+	for _, v := range m {
+		p.Send(v) // want "Send called inside a map range"
+	}
+}
+
+// packSortedKeys is the sanctioned packing shape: iterate keys sorted.
+func packSortedKeys(m map[int][]byte, p packer) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		p.Put(m[k])
+	}
+}
+
+func suppressed(m map[int]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//mdvet:ignore maporder diagnostics-only sum, compared with a tolerance
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,12 @@
+package rngtime_test
+
+import (
+	"testing"
+
+	"mdkmc/internal/analysis/analysistest"
+	"mdkmc/internal/analysis/rngtime"
+)
+
+func TestRngtime(t *testing.T) {
+	analysistest.Run(t, rngtime.Analyzer, "mdkmc/internal/md", "a")
+}

@@ -1,0 +1,12 @@
+// Package a is outside the protected set: rngtime must not report here.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+func unprotected() float64 {
+	_ = time.Now()
+	return rand.Float64()
+}

@@ -85,6 +85,8 @@ type candidate struct {
 // candidates: the density pass must pass false, both because it does not
 // need them and because neighbor ρ values are concurrently being written by
 // other CPE workers during that pass.
+//
+//mdvet:hot
 func (ff *ForceField) eachCandidate(s *neighbor.Store, home int, basis int8,
 	kind centralKind, selfRef int32, withRho bool, fn func(c candidate)) int64 {
 
@@ -136,6 +138,8 @@ func (ff *ForceField) Densities(s *neighbor.Store) OpStats {
 
 // DensitiesRange is Densities restricted to owned cells [lo, hi); disjoint
 // ranges write disjoint state, so the CPE kernel runs them concurrently.
+//
+//mdvet:hot
 func (ff *ForceField) DensitiesRange(s *neighbor.Store, lo, hi int) OpStats {
 	var st OpStats
 	cut2 := ff.Cutoff * ff.Cutoff
@@ -191,6 +195,8 @@ func (ff *ForceField) Forces(s *neighbor.Store) (OpStats, float64) {
 }
 
 // ForcesRange is Forces restricted to owned cells [lo, hi).
+//
+//mdvet:hot
 func (ff *ForceField) ForcesRange(s *neighbor.Store, lo, hi int) (OpStats, float64) {
 	var st OpStats
 	var energy float64

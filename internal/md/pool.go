@@ -4,7 +4,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"mdkmc/internal/neighbor"
 	"mdkmc/internal/perf"
@@ -109,12 +108,12 @@ func (p *ForcePool) run(s *neighbor.Store, force bool, timing *perf.WorkerTiming
 
 	workers := ResolveWorkers(p.Workers)
 	timing.Reset(workers)
-	wall := time.Now()
+	wall := perf.StartStopwatch()
 	if workers == 1 {
 		for i := 0; i < ForceChunks; i++ {
 			runChunk(i)
 		}
-		timing.Record(0, time.Since(wall), ForceChunks)
+		timing.Record(0, wall.Elapsed(), ForceChunks)
 	} else {
 		var next atomic.Int64
 		var wg sync.WaitGroup
@@ -122,7 +121,7 @@ func (p *ForcePool) run(s *neighbor.Store, force bool, timing *perf.WorkerTiming
 			wg.Add(1)
 			go func(w int) {
 				defer wg.Done()
-				start := time.Now()
+				busy := perf.StartStopwatch()
 				chunks := 0
 				for {
 					i := int(next.Add(1)) - 1
@@ -132,12 +131,12 @@ func (p *ForcePool) run(s *neighbor.Store, force bool, timing *perf.WorkerTiming
 					runChunk(i)
 					chunks++
 				}
-				timing.Record(w, time.Since(start), chunks)
+				timing.Record(w, busy.Elapsed(), chunks)
 			}(w)
 		}
 		wg.Wait()
 	}
-	timing.Wall = time.Since(wall)
+	timing.Wall = wall.Elapsed()
 
 	busyTimer := p.densityBusy
 	if force {
