@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: check build test vet lint staticcheck govulncheck race recovery bench-kmc bench-md bench-json smoke smoke-telemetry fuzz-setfl figures
+.PHONY: check build test vet lint staticcheck govulncheck race recovery bench-kmc bench-md bench-json bench-gate smoke smoke-telemetry fuzz-setfl figures
 
 check: vet lint build race
 
@@ -62,14 +62,20 @@ bench-kmc:
 
 # The serial-vs-pooled MD step contrast on a 20^3 box (EXPERIMENTS.md).
 bench-md:
-	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x ./internal/md
+	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x -benchmem ./internal/md
 
 # Machine-readable benchmark artifacts (EXPERIMENTS.md): each family runs
 # once and its `go test -bench` output is converted to JSON by cmd/benchjson.
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x ./internal/md | $(GO) run ./cmd/benchjson -out BENCH_md.json
+	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x -benchmem ./internal/md | $(GO) run ./cmd/benchjson -out BENCH_md.json
 	$(GO) test -run '^$$' -bench 'BenchmarkKMCCycle' -benchtime 20x . | $(GO) run ./cmd/benchjson -out BENCH_kmc.json
 	$(GO) test -run '^$$' -bench 'BenchmarkCoupled' -benchtime 1x ./internal/couple | $(GO) run ./cmd/benchjson -out BENCH_couple.json
+
+# Regression gate against the committed MD-step baseline: fail when ns/op
+# slips more than 10% past BENCH_md.json or allocs/op rises above it
+# (allocation counts are deterministic — any increase is real).
+bench-gate:
+	$(GO) test -run '^$$' -bench 'BenchmarkMDStep' -benchtime 5x -benchmem ./internal/md | $(GO) run ./cmd/benchjson -baseline BENCH_md.json -max-regress 0.10
 
 # Every example must run to completion (CI smoke gate).
 smoke:

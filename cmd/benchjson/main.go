@@ -5,6 +5,7 @@
 // Usage:
 //
 //	go test -run '^$' -bench BenchmarkMDStep ./internal/md | benchjson -out BENCH_md.json
+//	go test -run '^$' -bench BenchmarkMDStep -benchmem ./internal/md | benchjson -baseline BENCH_md.json
 //	benchjson -check run.jsonl -require md/force,kmc/sector,mpi/bytes-sent
 package main
 
@@ -40,6 +41,8 @@ func main() {
 	out := flag.String("out", "", "write the parsed benchmark JSON here (default stdout)")
 	check := flag.String("check", "", "validate a telemetry JSONL file instead of parsing benchmarks")
 	require := flag.String("require", "", "comma-separated metric names the JSONL report must contain (with -check)")
+	baseline := flag.String("baseline", "", "compare stdin benchmark results against this committed baseline JSON and fail on regression")
+	maxRegress := flag.Float64("max-regress", 0.10, "allowed fractional ns/op slowdown vs the baseline (with -baseline)")
 	flag.Parse()
 
 	if *check != "" {
@@ -55,6 +58,12 @@ func main() {
 	}
 	if len(doc.Benchmarks) == 0 {
 		log.Fatal("benchjson: no benchmark result lines on stdin")
+	}
+	if *baseline != "" {
+		if err := compareBaseline(doc, *baseline, *maxRegress); err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		return
 	}
 	w := io.Writer(os.Stdout)
 	if *out != "" {
@@ -73,6 +82,61 @@ func main() {
 	if *out != "" {
 		fmt.Printf("benchjson: %d benchmark(s) -> %s\n", len(doc.Benchmarks), *out)
 	}
+}
+
+// compareBaseline gates the current benchmark run (doc) against a committed
+// baseline document: every baseline benchmark must be present, must not be
+// slower than ns/op × (1 + maxRegress), and must not allocate more per op
+// than the baseline (allocation counts are deterministic, so any increase
+// is a real regression, not noise).
+func compareBaseline(doc *document, path string, maxRegress float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base document
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("%s: %v", path, err)
+	}
+	current := map[string]benchmark{}
+	for _, b := range doc.Benchmarks {
+		current[b.Name] = b
+	}
+	var failures []string
+	for _, want := range base.Benchmarks {
+		got, ok := current[want.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: missing from current run", want.Name))
+			continue
+		}
+		baseNs, haveNs := want.Metrics["ns/op"]
+		if haveNs {
+			limit := baseNs * (1 + maxRegress)
+			if gotNs := got.Metrics["ns/op"]; gotNs > limit {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f ns/op exceeds baseline %.0f ns/op by more than %.0f%%",
+					want.Name, gotNs, baseNs, 100*maxRegress))
+			} else {
+				fmt.Printf("benchjson: %s: %.2f ms/op vs baseline %.2f ms/op (limit +%.0f%%)\n",
+					want.Name, got.Metrics["ns/op"]/1e6, baseNs/1e6, 100*maxRegress)
+			}
+		}
+		if baseAllocs, have := want.Metrics["allocs/op"]; have {
+			gotAllocs, haveGot := got.Metrics["allocs/op"]
+			if !haveGot {
+				failures = append(failures, fmt.Sprintf(
+					"%s: baseline has allocs/op but current run does not (run with -benchmem)", want.Name))
+			} else if gotAllocs > baseAllocs {
+				failures = append(failures, fmt.Sprintf(
+					"%s: %.0f allocs/op exceeds baseline %.0f", want.Name, gotAllocs, baseAllocs))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("benchmark regression vs %s:\n  %s", path, strings.Join(failures, "\n  "))
+	}
+	fmt.Printf("benchjson: %d benchmark(s) within baseline %s\n", len(base.Benchmarks), path)
+	return nil
 }
 
 func splitList(s string) []string {

@@ -103,7 +103,10 @@ func zbl(z1, z2, r float64) (v, dv float64) {
 		phi += e
 		dphi -= t.b * e / as
 	}
-	pre := coulombK * z1 * z2
+	// Parenthesized so the prefactor is bitwise symmetric under species
+	// exchange: (k*z1)*z2 and (k*z2)*z1 can differ in the last ulp, which
+	// would break the half-neighbor kernel's shared per-pair scalar.
+	pre := coulombK * (z1 * z2)
 	v = pre * phi / r
 	dv = pre * (dphi/r - phi/(r*r))
 	return

@@ -155,6 +155,74 @@ func (p *Potential) Density(a, b units.Element, r float64) (v, dv float64) {
 	}
 }
 
+// PairDensity is the fused per-pair evaluation of the force kernel's three
+// r-indexed lookups: φ_ab(r) with its derivative, plus both directed
+// density contributions f_ab(r) (a neighbor of species b seen from a host
+// of species a) and f_ba(r). All pair and density tables are built on the
+// same [RMin, Cutoff] grid, so the segment index (x-X0)/Dx is computed once
+// and reused across the three tables; for a == b the two density directions
+// are the same table and are evaluated once. Every returned value is
+// bitwise identical to the corresponding separate Pair/Density call.
+func (p *Potential) PairDensity(a, b units.Element, r float64) (phi, dphi, fab, dfab, fba, dfba float64) {
+	if r >= p.Cutoff {
+		return
+	}
+	switch p.Mode {
+	case Analytic:
+		phi, dphi = PairAnalytic(a, b, r)
+		fab, dfab = DensityAnalytic(a, b, r)
+		if a == b {
+			fba, dfba = fab, dfab
+		} else {
+			fba, dfba = DensityAnalytic(b, a, r)
+		}
+	case Traditional:
+		pt := p.pair[a][b].coeff
+		s := (r - pt.X0) / pt.Dx
+		n := len(pt.C)
+		var i int
+		var u float64
+		switch {
+		case s <= 0:
+			i, u = 0, 0
+		case s >= float64(n):
+			i, u = n-1, 1
+		default:
+			i = int(s)
+			u = s - float64(i)
+		}
+		phi, dphi = pt.evalSeg(i, u)
+		fab, dfab = p.dens[a][b].coeff.evalSeg(i, u)
+		if a == b {
+			fba, dfba = fab, dfab
+		} else {
+			fba, dfba = p.dens[b][a].coeff.evalSeg(i, u)
+		}
+	default:
+		pt := p.pair[a][b].val
+		i, u := pt.locate(r)
+		phi, dphi = pt.evalSeg(i, u)
+		fab, dfab = p.dens[a][b].val.evalSeg(i, u)
+		if a == b {
+			fba, dfba = fab, dfab
+		} else {
+			fba, dfba = p.dens[b][a].val.evalSeg(i, u)
+		}
+	}
+	return
+}
+
+// PairDensityEvals returns the number of interpolation-table evaluations one
+// PairDensity call issues for the species pair (the OpStats bookkeeping of
+// the fused kernel): the pair table plus one density table when the two
+// directions coincide, two otherwise.
+func PairDensityEvals(a, b units.Element) int64 {
+	if a == b {
+		return 2
+	}
+	return 3
+}
+
 // Embed returns F_a(ρ) and its derivative.
 func (p *Potential) Embed(a units.Element, rho float64) (v, dv float64) {
 	switch p.Mode {

@@ -91,6 +91,14 @@ func (t *Table) locate(x float64) (i int, u float64) {
 // the segment's cubic from the compacted samples on the fly.
 func (t *Table) Eval(x float64) (v, dv float64) {
 	i, u := t.locate(x)
+	return t.evalSeg(i, u)
+}
+
+// evalSeg evaluates segment i at fraction u. Splitting locate from the
+// segment evaluation lets the fused PairDensity locate once and reuse the
+// segment index across tables that share the same grid; the result is
+// bitwise identical to Eval.
+func (t *Table) evalSeg(i int, u float64) (v, dv float64) {
 	s0, s1 := t.S[i], t.S[i+1]
 	d0 := t.nodeDeriv(i) * t.Dx // derivative per grid cell for Hermite form
 	d1 := t.nodeDeriv(i+1) * t.Dx
@@ -160,6 +168,12 @@ func (ct *CoeffTable) Eval(x float64) (v, dv float64) {
 		i = int(s)
 		u = s - float64(i)
 	}
+	return ct.evalSeg(i, u)
+}
+
+// evalSeg evaluates segment i at fraction u; the CoeffTable counterpart of
+// Table.evalSeg, bitwise identical to Eval at the located segment.
+func (ct *CoeffTable) evalSeg(i int, u float64) (v, dv float64) {
 	c := &ct.C[i]
 	v = c[3] + u*(c[4]+u*(c[5]+u*c[6]))
 	dv = (c[0] + u*(c[1]+u*c[2])) / ct.Dx

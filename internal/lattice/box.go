@@ -116,6 +116,11 @@ func (b *Box) EachOwnedCellRange(lo, hi int, fn func(c Coord, local int)) {
 // the owned cells, remainder cells going to the lower workers.
 func (b *Box) SpanCells(n, i int) (lo, hi int) { return span(b.OwnedCells(), n, i) }
 
+// SpanLocalSites returns the local-site range [lo,hi) of worker i among n
+// workers over all local sites (owned and ghost); the work-splitting
+// primitive of passes that sweep the full halo, such as the embedding fill.
+func (b *Box) SpanLocalSites(n, i int) (lo, hi int) { return span(b.NumLocalSites(), n, i) }
+
 // Grid is a Cartesian process grid over the lattice cells.
 type Grid struct {
 	L          *Lattice

@@ -76,6 +76,13 @@ type Config struct {
 	// knob trades wall-clock only.
 	Workers int
 
+	// ReferenceKernel selects the retained full-iteration force kernel
+	// instead of the optimized half-neighbor/fused-lookup one. Like Workers
+	// it is a documented bit-identical knob (DESIGN.md §13) — the two
+	// kernels produce bitwise-equal trajectories — retained as the
+	// cross-check mode, mirroring the KMC FullRescan pattern.
+	ReferenceKernel bool
+
 	Mode        eam.Mode
 	TablePoints int
 	Skin        float64
@@ -142,9 +149,9 @@ func (c *Config) Validate() error {
 // Hash returns a short stable digest of every trajectory-determining
 // field. Checkpoint manifests record it so a restart with a diverging
 // configuration is refused instead of silently producing a different
-// trajectory. Workers is excluded: the force pool is a documented
-// bit-identical knob (DESIGN.md §9), so a run may legally resume with a
-// different worker count.
+// trajectory. Workers and ReferenceKernel are excluded: the force pool
+// (DESIGN.md §9) and the kernel choice (DESIGN.md §13) are documented
+// bit-identical knobs, so a run may legally resume with either changed.
 func (c *Config) Hash() string {
 	pka := "nil"
 	if c.PKA != nil {

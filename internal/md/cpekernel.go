@@ -157,25 +157,47 @@ func (k *CPEKernel) tableResident(c *sunway.CPE, pot *eam.Potential) (string, in
 	return "compacted-table", compactedBytes, false
 }
 
-// pass describes the per-site streaming of one kernel pass.
+// pass describes the per-site streaming of one kernel round.
 type passSpec struct {
-	tables   int // compacted tables preloaded over the pass
-	inBytes  int
-	outBytes int
-	flopsPer int // per accepted pair
+	tables   int // compacted tables preloaded over the round
+	inBytes  int // streamed in per site
+	outBytes int // streamed out per site
+	// perPairIn/perPairOut charge the optimized kernel's pair-cache
+	// traffic: bytes read/written from the main-memory cache per accepted
+	// pair (the cache is far too large for the LDM, so it streams by DMA
+	// like the atom fields).
+	perPairIn  int
+	perPairOut int
+	flopsPer   int // arithmetic per accepted pair
 }
 
+// Reference-kernel rounds (the historical single-pass specs).
 var densityPass = passSpec{tables: 1, inBytes: streamInDensity, outBytes: streamOutDens, flopsPer: flopsPairDensity}
 var forcePass = passSpec{tables: 3, inBytes: streamInForce, outBytes: streamOutForce, flopsPer: flopsPairForce}
+
+// Optimized-kernel rounds. The gather round preloads all three fused
+// tables (pair + both density directions) and writes one 6-float cache
+// slot per unique pair; the reduce rounds read cached values back — one
+// density float per pair side in the density reduce, the four force floats
+// in the force reduce — instead of re-evaluating tables. The fill round
+// streams only ρ and type in and F(ρ)/F'(ρ) out, with one embedding
+// evaluation per site and no pair work at all.
+var densityGatherPass = passSpec{tables: 3, inBytes: streamInDensity, perPairOut: slotFloats * 8, flopsPer: flopsPairDensity}
+var densityReducePass = passSpec{tables: 1, inBytes: streamInDensity, outBytes: streamOutDens, perPairIn: 8, flopsPer: 1}
+var fillPass = passSpec{tables: 1, inBytes: 16, outBytes: 16}
+var forceReducePass = passSpec{tables: 3, inBytes: streamInForce, outBytes: streamOutForce, perPairIn: 4 * 8, flopsPer: flopsPairForce}
 
 // chargeSoftwareCache models the same pass under the software-emulated
 // cache: no explicit blocks, no overlap; every access pays the tag check
 // and the miss fraction fetches cache lines from main memory.
 func (k *CPEKernel) chargeSoftwareCache(c *sunway.CPE, spec passSpec, sites int, st OpStats) {
-	accesses := float64(sites*accessesPerSiteIn) + float64(st.Lookups)
+	// Pair-cache traffic (optimized kernel) streams through the emulated
+	// cache too, one float64 access per cached value.
+	pairAccesses := float64(st.Pairs) * float64(spec.perPairIn+spec.perPairOut) / 8
+	accesses := float64(sites*accessesPerSiteIn) + float64(st.Lookups) + pairAccesses
 	c.Compute(accesses * cacheTagFlops)
 	tableMisses := float64(st.Lookups) * cacheMissTables
-	streamMisses := float64(sites*accessesPerSiteIn) * cacheMissStream
+	streamMisses := (float64(sites*accessesPerSiteIn) + pairAccesses) * cacheMissStream
 	c.DMASmallN(int(tableMisses+streamMisses), cacheLineBytes)
 	// The kernel arithmetic itself is unchanged.
 	c.Compute(float64(st.Pairs)*float64(spec.flopsPer) +
@@ -243,7 +265,7 @@ func (k *CPEKernel) charge(c *sunway.CPE, spec passSpec, sites int, st OpStats) 
 		}
 		first = false
 		c.BeginBlock()
-		c.DMAGet(n * (spec.inBytes + halo))
+		c.DMAGet(n*(spec.inBytes+halo) + int(float64(n)*pairsPerSite)*spec.perPairIn)
 		if fetchRows {
 			// Per-neighbor coefficient-row fetches that miss the row cache.
 			misses := int(float64(n) * lookupsPerSite * rowMissRate)
@@ -266,50 +288,100 @@ func (k *CPEKernel) charge(c *sunway.CPE, spec passSpec, sites int, st OpStats) 
 			flops += float64(n) * lookupsPerSite * flopsReconstruct
 		}
 		c.Compute(flops)
-		c.DMAPut(n * spec.outBytes)
+		c.DMAPut(n*spec.outBytes + int(float64(n)*pairsPerSite)*spec.perPairOut)
 		c.EndBlock()
 	}
 }
 
-// run executes one pass: real physics partitioned over the 64 CPEs plus the
-// cost charges, returning the pass's aggregate operation counts (and energy
-// for the force pass). Per-CPE results are reduced in CPE-ID order so the
-// floating-point energy sum is deterministic — the same 64-way split and
-// merge order as the plain ForcePool, so the two paths agree bitwise.
-func (k *CPEKernel) run(s *neighbor.Store, spec passSpec, force bool) (OpStats, float64) {
-	var perStats [sunway.CPEsPerGroup]OpStats
-	var perEnergy [sunway.CPEsPerGroup]float64
-	k.CG.ResetAll()
-	worst := k.CG.SpawnN(k.Workers, k.doubleBuffer(), func(c *sunway.CPE) {
-		lo, hi := s.Box.SpanCells(sunway.CPEsPerGroup, c.ID)
-		var st OpStats
-		var e float64
-		if force {
-			st, e = k.FF.ForcesRange(s, lo, hi)
-		} else {
-			st = k.FF.DensitiesRange(s, lo, hi)
-		}
-		k.charge(c, spec, 2*(hi-lo), st)
-		perStats[c.ID] = st
-		perEnergy[c.ID] = e
-	})
-	k.StepTime += worst
+// cpeRound is one barrier-separated kernel round: the work function runs
+// lane id's share of the physics and returns its operation counts, energy
+// share, and the number of sites it streamed (the quantity the cost model
+// charges per site).
+type cpeRound struct {
+	spec passSpec
+	work func(id int) (OpStats, float64, int)
+}
+
+// run executes one pass as a sequence of rounds: real physics partitioned
+// over the 64 CPEs plus the cost charges. Per-CPE results are reduced in
+// CPE-ID order so the floating-point energy sum is deterministic — the same
+// 64-way split and merge order as the plain ForcePool, so the two paths
+// agree bitwise. Each round charges the group its slowest lane (the
+// hardware barrier between rounds serializes on it) and resets the LDM
+// allocations, mirroring a fresh kernel launch per round.
+func (k *CPEKernel) run(s *neighbor.Store, rounds []cpeRound) (OpStats, float64) {
 	var stats OpStats
 	var energy float64
-	for i := 0; i < sunway.CPEsPerGroup; i++ {
-		stats.Add(perStats[i])
-		energy += perEnergy[i]
+	for _, round := range rounds {
+		var perStats [sunway.CPEsPerGroup]OpStats
+		var perEnergy [sunway.CPEsPerGroup]float64
+		k.CG.ResetAll()
+		spec := round.spec
+		work := round.work
+		worst := k.CG.SpawnN(k.Workers, k.doubleBuffer(), func(c *sunway.CPE) {
+			st, e, sites := work(c.ID)
+			k.charge(c, spec, sites, st)
+			perStats[c.ID] = st
+			perEnergy[c.ID] = e
+		})
+		k.StepTime += worst
+		for i := 0; i < sunway.CPEsPerGroup; i++ {
+			stats.Add(perStats[i])
+			energy += perEnergy[i]
+		}
 	}
 	return stats, energy
 }
 
-// Densities runs the density pass on the CPE cluster.
+// Densities runs the density pass on the CPE cluster: gather + reduce
+// rounds for the optimized kernel, the single historical round for the
+// reference kernel.
 func (k *CPEKernel) Densities(s *neighbor.Store) OpStats {
-	st, _ := k.run(s, densityPass, false)
+	var rounds []cpeRound
+	if k.FF.Reference {
+		rounds = []cpeRound{{densityPass, func(id int) (OpStats, float64, int) {
+			lo, hi := s.Box.SpanCells(sunway.CPEsPerGroup, id)
+			return k.FF.DensitiesRange(s, lo, hi), 0, 2 * (hi - lo)
+		}}}
+	} else {
+		rounds = []cpeRound{
+			{densityGatherPass, func(id int) (OpStats, float64, int) {
+				lo, hi := s.Box.SpanCells(sunway.CPEsPerGroup, id)
+				return k.FF.DensityGatherRange(s, lo, hi), 0, 2 * (hi - lo)
+			}},
+			{densityReducePass, func(id int) (OpStats, float64, int) {
+				lo, hi := s.Box.SpanCells(sunway.CPEsPerGroup, id)
+				return k.FF.DensityReduceRange(s, lo, hi), 0, 2 * (hi - lo)
+			}},
+		}
+	}
+	st, _ := k.run(s, rounds)
 	return st
 }
 
-// Forces runs the force pass on the CPE cluster.
+// Forces runs the force pass on the CPE cluster: embedding fill (over all
+// local sites, ghosts included) + cached-pair reduce rounds for the
+// optimized kernel, the single historical round for the reference kernel.
 func (k *CPEKernel) Forces(s *neighbor.Store) (OpStats, float64) {
-	return k.run(s, forcePass, true)
+	var rounds []cpeRound
+	if k.FF.Reference {
+		rounds = []cpeRound{{forcePass, func(id int) (OpStats, float64, int) {
+			lo, hi := s.Box.SpanCells(sunway.CPEsPerGroup, id)
+			st, e := k.FF.ForcesRange(s, lo, hi)
+			return st, e, 2 * (hi - lo)
+		}}}
+	} else {
+		rounds = []cpeRound{
+			{fillPass, func(id int) (OpStats, float64, int) {
+				lo, hi := s.Box.SpanLocalSites(sunway.CPEsPerGroup, id)
+				return k.FF.FillEmbeddingRange(s, lo, hi), 0, hi - lo
+			}},
+			{forceReducePass, func(id int) (OpStats, float64, int) {
+				lo, hi := s.Box.SpanCells(sunway.CPEsPerGroup, id)
+				st, e := k.FF.ForceReduceRange(s, lo, hi)
+				return st, e, 2 * (hi - lo)
+			}},
+		}
+	}
+	return k.run(s, rounds)
 }

@@ -12,15 +12,36 @@ import (
 
 // OpStats counts the work performed by a force-kernel pass; the Sunway CPE
 // kernel translates these counts into DMA and compute charges.
+//
+// Lookups counts true interpolation-table evaluations. The reference kernel
+// issues, per accepted pair side, one evaluation in the density pass and
+// four in the force pass (pair, both density directions, and the neighbor's
+// embedding derivative), plus one embedding evaluation per central atom.
+// The optimized kernel counts one embedding evaluation per local atom in
+// the fill pass, the fused evaluations of each unique resident pair in the
+// gather pass (two tables for a same-species pair, three otherwise), and
+// the inline fused evaluations of run-away-involved pair sides in the
+// reduce pass.
+//
+// Pairs counts accepted pair evaluations: per side in the reference and
+// reduce passes (the historical meaning), and per unique pair in the gather
+// pass, where each pair is computed once.
 type OpStats struct {
 	Atoms   int64 // central atoms processed
 	Pairs   int64 // interacting pairs accepted (within the true cutoff)
 	Visits  int64 // candidate sites visited (static-offset walks)
-	Lookups int64 // interpolation-table queries issued
+	Lookups int64 // interpolation-table evaluations issued
 	// MinorityLookups counts the lookups that involve a non-dominant
 	// species and therefore hit a table that is not LDM-resident under the
 	// paper's alloy strategy (§2.1.2).
 	MinorityLookups int64
+	// Coincident counts accepted-range encounters of two *distinct* atoms
+	// at bitwise-identical positions (r² == 0). Such pairs have no defined
+	// force direction and are skipped, which silently zeroes their mutual
+	// interaction — so they are counted loudly here and surfaced as a
+	// sticky error by the Rank (sim.go) instead of corrupting the dynamics
+	// in silence.
+	Coincident int64
 }
 
 // Add accumulates other into s.
@@ -30,20 +51,60 @@ func (s *OpStats) Add(other OpStats) {
 	s.Visits += other.Visits
 	s.Lookups += other.Lookups
 	s.MinorityLookups += other.MinorityLookups
+	s.Coincident += other.Coincident
 }
+
+// Pair-cache slot layout of the optimized kernel: the density gather pass
+// stores, per accepted resident pair, the fused evaluation results that the
+// two reduce passes (density, then force, after the ghost ρ exchange)
+// consume. Values are directional with respect to the *computing* side a:
+// fab is the density a's atom receives from b's, fba the reverse.
+const (
+	slotFab  = 0 // f_ab(r)
+	slotFba  = 1 // f_ba(r)
+	slotPhi  = 2 // φ_ab(r)
+	slotDphi = 3 // dφ/dr
+	slotDfab = 4 // df_ab/dr
+	slotDfba = 5 // df_ba/dr
+
+	slotFloats = 6
+)
 
 // ForceField evaluates EAM densities and forces over a lattice neighbor
 // list. The "tight" prefix of the (distance-sorted) offset table covers all
 // possible lattice-resident pairs (cutoff + skin); the full "wide" table is
 // walked only for run-away chains, which is the paper's "extra overhead can
 // be ignored" property.
+//
+// Two kernels are provided. The optimized kernel (the default) evaluates
+// each resident–resident pair once — a gather pass computes the fused
+// pair/density tables for every pair whose canonical owner (or ghost
+// partner) anchors it and stores the results in the pair cache; after a
+// barrier, reduce passes accumulate both sides from the cache in the
+// reference enumeration order. The retained reference kernel
+// (DensitiesRange/ForcesRange, selected by Reference) evaluates every pair
+// from both sides; the two are bit-identical (DESIGN.md §13).
 type ForceField struct {
 	Pot    *eam.Potential
 	Cutoff float64 // true interaction cutoff (Å)
 	Tight  [2]int  // per-basis prefix length for lattice-resident pairs
+
+	// Reference selects the retained full-iteration kernel instead of the
+	// optimized half-neighbor/fused one — the cross-check mode, mirroring
+	// the KMC FullRescan knob.
+	Reference bool
+
+	// Optimized-kernel statics, built once per store geometry.
+	stride   int        // pair-cache slots per owned site: max tight prefix
+	ownedIdx []int32    // local site -> owned-order index; -1 off-rank
+	revIdx   [2][]int32 // per basis, tight slot -> partner-side reverse slot
+	cache    []float64  // slotFloats per (owned site, tight slot)
 }
 
-// NewForceField computes the tight prefixes for the store's offset table.
+// NewForceField computes the tight prefixes for the store's offset table
+// and builds the optimized kernel's static indexes: the owned-order map,
+// the reverse-offset table (the slot at which a pair's canonical owner
+// cached it, seen from the partner), and the pair cache itself.
 func NewForceField(s *neighbor.Store, pot *eam.Potential, skin float64) *ForceField {
 	ff := &ForceField{Pot: pot, Cutoff: pot.Cutoff}
 	tightR := pot.Cutoff + skin
@@ -58,6 +119,47 @@ func NewForceField(s *neighbor.Store, pot *eam.Potential, skin float64) *ForceFi
 		}
 		ff.Tight[b] = n
 	}
+	ff.stride = ff.Tight[0]
+	if ff.Tight[1] > ff.stride {
+		ff.stride = ff.Tight[1]
+	}
+
+	ff.ownedIdx = make([]int32, s.Box.NumLocalSites())
+	for i := range ff.ownedIdx {
+		ff.ownedIdx[i] = -1
+	}
+	next := int32(0)
+	s.Box.EachOwned(func(_ lattice.Coord, local int) {
+		ff.ownedIdx[local] = next
+		next++
+	})
+
+	// Reverse offsets: the symmetric range enumeration guarantees that for
+	// every tight offset b→(DX,DY,DZ,DB) the offset DB→(-DX,-DY,-DZ,b)
+	// exists at the same distance, hence inside the partner's tight prefix.
+	for b := int8(0); b <= 1; b++ {
+		offs := s.Tab.PerBase[b]
+		rev := make([]int32, ff.Tight[b])
+		for k := 0; k < ff.Tight[b]; k++ {
+			o := offs[k]
+			back := s.Tab.PerBase[o.DB]
+			found := int32(-1)
+			for k2 := 0; k2 < ff.Tight[o.DB]; k2++ {
+				q := back[k2]
+				if q.DX == -o.DX && q.DY == -o.DY && q.DZ == -o.DZ && q.DB == b {
+					found = int32(k2)
+					break
+				}
+			}
+			if found < 0 {
+				panic("md: offset table is not symmetric; reverse offset missing")
+			}
+			rev[k] = found
+		}
+		ff.revIdx[b] = rev
+	}
+
+	ff.cache = make([]float64, int(next)*ff.stride*slotFloats)
 	return ff
 }
 
@@ -130,14 +232,28 @@ func (ff *ForceField) eachCandidate(s *neighbor.Store, home int, basis int8,
 	return visits
 }
 
+// pairScalar combines the pair-potential derivative with the two embedding
+// terms in a canonical order, so both sides of a pair sum the three terms
+// identically and obtain a bitwise-equal force scalar: the side whose
+// (species, density) key is smaller contributes its term first; if the keys
+// are equal the two terms are themselves bitwise equal and the order cannot
+// matter. tc/tp are the central's and partner's terms dF·df.
+func pairScalar(dphi, tc, tp float64, ctyp, ptyp units.Element, crho, prho float64) float64 {
+	if ptyp < ctyp || (ptyp == ctyp && prho < crho) {
+		return dphi + tp + tc
+	}
+	return dphi + tc + tp
+}
+
 // Densities computes the electron density ρ for every owned atom (resident
 // and run-away). Ghost densities must afterwards be filled by exchange.
 func (ff *ForceField) Densities(s *neighbor.Store) OpStats {
 	return ff.DensitiesRange(s, 0, s.Box.OwnedCells())
 }
 
-// DensitiesRange is Densities restricted to owned cells [lo, hi); disjoint
-// ranges write disjoint state, so the CPE kernel runs them concurrently.
+// DensitiesRange is the reference density kernel restricted to owned cells
+// [lo, hi); disjoint ranges write disjoint state, so the CPE kernel runs
+// them concurrently.
 //
 //mdvet:hot
 func (ff *ForceField) DensitiesRange(s *neighbor.Store, lo, hi int) OpStats {
@@ -151,7 +267,11 @@ func (ff *ForceField) DensitiesRange(s *neighbor.Store, lo, hi int) OpStats {
 			var rho float64
 			st.Visits += ff.eachCandidate(s, local, c.B, residentCentral, 0, false, func(cd candidate) {
 				r2 := pos.Sub(cd.pos).Norm2()
-				if r2 >= cut2 || r2 == 0 {
+				if r2 == 0 {
+					st.Coincident++
+					return
+				}
+				if r2 >= cut2 {
 					return
 				}
 				f, _ := ff.Pot.Density(typ, cd.typ, math.Sqrt(r2))
@@ -170,7 +290,11 @@ func (ff *ForceField) DensitiesRange(s *neighbor.Store, lo, hi int) OpStats {
 			var rho float64
 			st.Visits += ff.eachCandidate(s, local, c.B, runawayCentral, ref, false, func(cd candidate) {
 				r2 := pos.Sub(cd.pos).Norm2()
-				if r2 >= cut2 || r2 == 0 {
+				if r2 == 0 {
+					st.Coincident++
+					return
+				}
+				if r2 >= cut2 {
 					return
 				}
 				f, _ := ff.Pot.Density(typ, cd.typ, math.Sqrt(r2))
@@ -194,7 +318,13 @@ func (ff *ForceField) Forces(s *neighbor.Store) (OpStats, float64) {
 	return ff.ForcesRange(s, 0, s.Box.OwnedCells())
 }
 
-// ForcesRange is Forces restricted to owned cells [lo, hi).
+// ForcesRange is the reference force kernel restricted to owned cells
+// [lo, hi). Per central atom it issues one embedding evaluation, and per
+// accepted pair four interpolation evaluations: the pair term, both density
+// directions, and the partner's embedding derivative (all counted in
+// OpStats.Lookups — the density-direction evaluations and the partner
+// embedding term are what the optimized kernel's pair cache and
+// fill pass eliminate).
 //
 //mdvet:hot
 func (ff *ForceField) ForcesRange(s *neighbor.Store, lo, hi int) (OpStats, float64) {
@@ -207,12 +337,20 @@ func (ff *ForceField) ForcesRange(s *neighbor.Store, lo, hi int) (OpStats, float
 		pos vec.V, typ units.Element, rho float64) (vec.V, float64) {
 
 		embedE, dFc := ff.Pot.Embed(typ, rho)
+		st.Lookups++
+		if typ != units.Fe {
+			st.MinorityLookups++
+		}
 		e := embedE
 		f := vec.Zero
 		st.Visits += ff.eachCandidate(s, home, basis, kind, ref, true, func(cd candidate) {
 			d := pos.Sub(cd.pos)
 			r2 := d.Norm2()
-			if r2 >= cut2 || r2 == 0 {
+			if r2 == 0 {
+				st.Coincident++
+				return
+			}
+			if r2 >= cut2 {
 				return
 			}
 			r := math.Sqrt(r2)
@@ -220,13 +358,16 @@ func (ff *ForceField) ForcesRange(s *neighbor.Store, lo, hi int) (OpStats, float
 			_, dfij := ff.Pot.Density(typ, cd.typ, r)
 			_, dfji := ff.Pot.Density(cd.typ, typ, r)
 			_, dFj := ff.Pot.Embed(cd.typ, cd.rho)
-			scalar := dphi + dFc*dfij + dFj*dfji
+			scalar := pairScalar(dphi, dFc*dfij, dFj*dfji, typ, cd.typ, rho, cd.rho)
 			f = f.MulAdd(-scalar/r, d)
 			e += 0.5 * phi
 			st.Pairs++
-			st.Lookups += 3
+			st.Lookups += 4
 			if typ != units.Fe || cd.typ != units.Fe {
 				st.MinorityLookups += 3
+			}
+			if cd.typ != units.Fe {
+				st.MinorityLookups++
 			}
 		})
 		return f, e
@@ -246,6 +387,383 @@ func (ff *ForceField) ForcesRange(s *neighbor.Store, lo, hi int) (OpStats, float
 			a.F = f
 			energy += e
 		})
+	})
+	return st, energy
+}
+
+// FillEmbeddingRange precomputes F(ρ) and F'(ρ) for every local atom —
+// resident or run-away, ghosts included — in the local-site range [lo, hi):
+// one embedding evaluation per atom instead of the reference kernel's one
+// per accepted pair. It runs after the density exchange; DFdRho/EmbedE are
+// derived state and are never exchanged — each rank recomputes its ghosts'
+// values from the exchanged densities. Disjoint site ranges write disjoint
+// state (run-away chains are anchored at exactly one site).
+//
+//mdvet:hot
+func (ff *ForceField) FillEmbeddingRange(s *neighbor.Store, lo, hi int) OpStats {
+	var st OpStats
+	for i := lo; i < hi; i++ {
+		if !s.IsVacancy(i) {
+			v, dv := ff.Pot.Embed(s.Type[i], s.Rho[i])
+			s.EmbedE[i] = v
+			s.DFdRho[i] = dv
+			st.Lookups++
+			if s.Type[i] != units.Fe {
+				st.MinorityLookups++
+			}
+		}
+		for ref := s.Head[i]; ref != neighbor.NoRunaway; {
+			a := s.Runaway(ref)
+			v, dv := ff.Pot.Embed(a.Type, a.Rho)
+			a.EmbedE = v
+			a.DFdRho = dv
+			st.Lookups++
+			if a.Type != units.Fe {
+				st.MinorityLookups++
+			}
+			ref = a.Next
+		}
+	}
+	return st
+}
+
+// DensityGatherRange is the first half of the optimized density pass over
+// owned cells [lo, hi): every resident–resident pair anchored here — owned
+// pairs whose canonical owner (the side with the smaller owned index) is in
+// the range, plus every pair with a ghost partner — is evaluated exactly
+// once through the fused PairDensity lookup, and all six results are stored
+// in the pair cache for the two reduce passes. Writes only cache rows of
+// atoms in the range; a barrier must separate it from any reduce pass.
+//
+//mdvet:hot
+func (ff *ForceField) DensityGatherRange(s *neighbor.Store, lo, hi int) OpStats {
+	var st OpStats
+	cut2 := ff.Cutoff * ff.Cutoff
+	stride := ff.stride
+	s.Box.EachOwnedCellRange(lo, hi, func(c lattice.Coord, local int) {
+		if s.IsVacancy(local) {
+			return
+		}
+		st.Atoms++
+		pos := s.R[local]
+		typ := s.Type[local]
+		oi := ff.ownedIdx[local]
+		row := int(oi) * stride * slotFloats
+		deltas := s.Deltas(c.B)
+		tight := ff.Tight[c.B]
+		st.Visits += int64(tight) + 1
+		for k := 0; k < tight; k++ {
+			j := local + int(deltas[k])
+			if s.IsVacancy(j) {
+				continue
+			}
+			oj := ff.ownedIdx[j]
+			if oj >= 0 && oj < oi {
+				continue // the partner owns this pair and computes it
+			}
+			d := pos.Sub(s.R[j])
+			r2 := d.Norm2()
+			if r2 >= cut2 || r2 == 0 {
+				continue // coincidences are counted by the reduce pass
+			}
+			tj := s.Type[j]
+			phi, dphi, fab, dfab, fba, dfba := ff.Pot.PairDensity(typ, tj, math.Sqrt(r2))
+			slot := ff.cache[row+k*slotFloats : row+k*slotFloats+slotFloats : row+k*slotFloats+slotFloats]
+			slot[slotFab] = fab
+			slot[slotFba] = fba
+			slot[slotPhi] = phi
+			slot[slotDphi] = dphi
+			slot[slotDfab] = dfab
+			slot[slotDfba] = dfba
+			st.Pairs++
+			evals := eam.PairDensityEvals(typ, tj)
+			st.Lookups += evals
+			if typ != units.Fe || tj != units.Fe {
+				st.MinorityLookups += evals
+			}
+		}
+	})
+	return st
+}
+
+// DensityReduceRange is the second half of the optimized density pass:
+// every owned atom accumulates its density in the reference enumeration
+// order — cached values for resident partners (its own row when it owns the
+// pair or the partner is a ghost, the partner's reverse-offset slot
+// otherwise), inline evaluations for run-away-involved pairs.
+//
+//mdvet:hot
+func (ff *ForceField) DensityReduceRange(s *neighbor.Store, lo, hi int) OpStats {
+	var st OpStats
+	cut2 := ff.Cutoff * ff.Cutoff
+	stride := ff.stride
+	// With no run-away atoms anywhere in the local store (the defect-free
+	// common case, and a global property so every chunking sees the same
+	// value), only the tight prefix can hold partners: the wide-offset
+	// chain scan — the dominant per-site iteration cost — is skipped
+	// entirely. This is the paper's "extra overhead can be ignored"
+	// property made literal.
+	hasRun := s.NumRunaways() > 0
+
+	// density contribution to a central at pos from the run-away chain at
+	// site j (excluding selfRef).
+	chain := func(pos vec.V, typ units.Element, j int, selfRef int32, rho *float64) {
+		for ref := s.Head[j]; ref != neighbor.NoRunaway; {
+			a := s.Runaway(ref)
+			if ref != selfRef {
+				r2 := pos.Sub(a.R).Norm2()
+				if r2 == 0 {
+					st.Coincident++
+				} else if r2 < cut2 {
+					f, _ := ff.Pot.Density(typ, a.Type, math.Sqrt(r2))
+					*rho += f
+					st.Pairs++
+					st.Lookups++
+					if typ != units.Fe || a.Type != units.Fe {
+						st.MinorityLookups++
+					}
+				}
+			}
+			ref = a.Next
+		}
+	}
+
+	s.Box.EachOwnedCellRange(lo, hi, func(c lattice.Coord, local int) {
+		deltas := s.Deltas(c.B)
+		tight := ff.Tight[c.B]
+		rev := ff.revIdx[c.B]
+		if !hasRun {
+			deltas = deltas[:tight]
+		}
+		if !s.IsVacancy(local) {
+			st.Atoms++
+			st.Visits += int64(len(deltas)) + 1
+			pos := s.R[local]
+			typ := s.Type[local]
+			oi := ff.ownedIdx[local]
+			var rho float64
+			if hasRun {
+				chain(pos, typ, local, neighbor.NoRunaway, &rho)
+			}
+			for k, dlt := range deltas {
+				j := local + int(dlt)
+				if k < tight && !s.IsVacancy(j) {
+					r2 := pos.Sub(s.R[j]).Norm2()
+					if r2 == 0 {
+						st.Coincident++
+					} else if r2 < cut2 {
+						oj := ff.ownedIdx[j]
+						if oj >= 0 && oj < oi {
+							// The partner owns the pair: read its slot for
+							// the reverse offset; we are the "b" side.
+							rho += ff.cache[(int(oj)*stride+int(rev[k]))*slotFloats+slotFba]
+						} else {
+							rho += ff.cache[(int(oi)*stride+k)*slotFloats+slotFab]
+						}
+						st.Pairs++
+					}
+				}
+				if hasRun && s.Head[j] != neighbor.NoRunaway {
+					chain(pos, typ, j, neighbor.NoRunaway, &rho)
+				}
+			}
+			s.Rho[local] = rho
+		}
+		// Run-away centrals: full inline iteration, as in the reference.
+		for selfRef := s.Head[local]; selfRef != neighbor.NoRunaway; {
+			a := s.Runaway(selfRef)
+			st.Atoms++
+			st.Visits += int64(len(deltas)) + 1
+			pos, typ := a.R, a.Type
+			var rho float64
+			chain(pos, typ, local, selfRef, &rho)
+			if !s.IsVacancy(local) {
+				r2 := pos.Sub(s.R[local]).Norm2()
+				if r2 == 0 {
+					st.Coincident++
+				} else if r2 < cut2 {
+					f, _ := ff.Pot.Density(typ, s.Type[local], math.Sqrt(r2))
+					rho += f
+					st.Pairs++
+					st.Lookups++
+					if typ != units.Fe || s.Type[local] != units.Fe {
+						st.MinorityLookups++
+					}
+				}
+			}
+			for _, dlt := range deltas {
+				j := local + int(dlt)
+				if !s.IsVacancy(j) {
+					r2 := pos.Sub(s.R[j]).Norm2()
+					if r2 == 0 {
+						st.Coincident++
+					} else if r2 < cut2 {
+						f, _ := ff.Pot.Density(typ, s.Type[j], math.Sqrt(r2))
+						rho += f
+						st.Pairs++
+						st.Lookups++
+						if typ != units.Fe || s.Type[j] != units.Fe {
+							st.MinorityLookups++
+						}
+					}
+				}
+				if s.Head[j] != neighbor.NoRunaway {
+					chain(pos, typ, j, neighbor.NoRunaway, &rho)
+				}
+			}
+			a.Rho = rho
+			selfRef = a.Next
+		}
+	})
+	return st
+}
+
+// ForceReduceRange is the optimized force pass over owned cells [lo, hi).
+// The pair cache still holds every resident pair's fused evaluation from
+// the density gather (positions do not change between the two passes of one
+// force computation), and FillEmbeddingRange has precomputed every local
+// atom's F(ρ)/F'(ρ), so resident pairs need no table evaluations at all:
+// each side reads the cached derivatives, forms the canonical force scalar
+// — bitwise equal on both sides — and accumulates in the reference
+// enumeration order. Run-away-involved pairs are evaluated inline through
+// the fused lookup.
+//
+//mdvet:hot
+func (ff *ForceField) ForceReduceRange(s *neighbor.Store, lo, hi int) (OpStats, float64) {
+	var st OpStats
+	var energy float64
+	cut2 := ff.Cutoff * ff.Cutoff
+	stride := ff.stride
+	// Same wide-scan skip as DensityReduceRange: no run-aways anywhere
+	// means no partner beyond the tight prefix and no chains to probe.
+	hasRun := s.NumRunaways() > 0
+
+	// inline evaluation of one run-away-involved pair side: central at pos
+	// (species typ, embedding derivative dFc) against partner q.
+	inline := func(pos vec.V, typ units.Element, dFc, rho float64,
+		q vec.V, qtyp units.Element, qdF, qrho float64, f *vec.V, e *float64) {
+		d := pos.Sub(q)
+		r2 := d.Norm2()
+		if r2 == 0 {
+			st.Coincident++
+			return
+		}
+		if r2 >= cut2 {
+			return
+		}
+		r := math.Sqrt(r2)
+		phi, dphi, _, dfab, _, dfba := ff.Pot.PairDensity(typ, qtyp, r)
+		scalar := pairScalar(dphi, dFc*dfab, qdF*dfba, typ, qtyp, rho, qrho)
+		*f = f.MulAdd(-scalar/r, d)
+		*e += 0.5 * phi
+		st.Pairs++
+		evals := eam.PairDensityEvals(typ, qtyp)
+		st.Lookups += evals
+		if typ != units.Fe || qtyp != units.Fe {
+			st.MinorityLookups += evals
+		}
+	}
+
+	// chain accumulates the run-away partners anchored at site j.
+	chain := func(pos vec.V, typ units.Element, dFc, rho float64,
+		j int, selfRef int32, f *vec.V, e *float64) {
+		for ref := s.Head[j]; ref != neighbor.NoRunaway; {
+			a := s.Runaway(ref)
+			if ref != selfRef {
+				inline(pos, typ, dFc, rho, a.R, a.Type, a.DFdRho, a.Rho, f, e)
+			}
+			ref = a.Next
+		}
+	}
+
+	s.Box.EachOwnedCellRange(lo, hi, func(c lattice.Coord, local int) {
+		deltas := s.Deltas(c.B)
+		tight := ff.Tight[c.B]
+		rev := ff.revIdx[c.B]
+		if !hasRun {
+			deltas = deltas[:tight]
+		}
+		if !s.IsVacancy(local) {
+			st.Atoms++
+			st.Visits += int64(len(deltas)) + 1
+			pos := s.R[local]
+			typ := s.Type[local]
+			rho := s.Rho[local]
+			dFc := s.DFdRho[local]
+			oi := ff.ownedIdx[local]
+			e := s.EmbedE[local]
+			f := vec.Zero
+			if hasRun {
+				chain(pos, typ, dFc, rho, local, neighbor.NoRunaway, &f, &e)
+			}
+			for k, dlt := range deltas {
+				j := local + int(dlt)
+				if k < tight && !s.IsVacancy(j) {
+					d := pos.Sub(s.R[j])
+					r2 := d.Norm2()
+					if r2 == 0 {
+						st.Coincident++
+					} else if r2 < cut2 {
+						r := math.Sqrt(r2)
+						// Locate the pair's cache slot and our direction in
+						// it: dfc is the density derivative toward the
+						// central, dfp toward the partner.
+						var base int
+						var dphi, dfc, dfp, phi float64
+						oj := ff.ownedIdx[j]
+						if oj >= 0 && oj < oi {
+							base = (int(oj)*stride + int(rev[k])) * slotFloats
+							dfc = ff.cache[base+slotDfba]
+							dfp = ff.cache[base+slotDfab]
+						} else {
+							base = (int(oi)*stride + k) * slotFloats
+							dfc = ff.cache[base+slotDfab]
+							dfp = ff.cache[base+slotDfba]
+						}
+						phi = ff.cache[base+slotPhi]
+						dphi = ff.cache[base+slotDphi]
+						scalar := pairScalar(dphi, dFc*dfc, s.DFdRho[j]*dfp,
+							typ, s.Type[j], rho, s.Rho[j])
+						f = f.MulAdd(-scalar/r, d)
+						e += 0.5 * phi
+						st.Pairs++
+					}
+				}
+				if hasRun && s.Head[j] != neighbor.NoRunaway {
+					chain(pos, typ, dFc, rho, j, neighbor.NoRunaway, &f, &e)
+				}
+			}
+			s.F[local] = f
+			energy += e
+		}
+		// Run-away centrals: full inline iteration over the wide table.
+		for selfRef := s.Head[local]; selfRef != neighbor.NoRunaway; {
+			a := s.Runaway(selfRef)
+			st.Atoms++
+			st.Visits += int64(len(deltas)) + 1
+			pos, typ := a.R, a.Type
+			rho, dFc := a.Rho, a.DFdRho
+			e := a.EmbedE
+			f := vec.Zero
+			chain(pos, typ, dFc, rho, local, selfRef, &f, &e)
+			if !s.IsVacancy(local) {
+				inline(pos, typ, dFc, rho,
+					s.R[local], s.Type[local], s.DFdRho[local], s.Rho[local], &f, &e)
+			}
+			for _, dlt := range deltas {
+				j := local + int(dlt)
+				if !s.IsVacancy(j) {
+					inline(pos, typ, dFc, rho,
+						s.R[j], s.Type[j], s.DFdRho[j], s.Rho[j], &f, &e)
+				}
+				if s.Head[j] != neighbor.NoRunaway {
+					chain(pos, typ, dFc, rho, j, neighbor.NoRunaway, &f, &e)
+				}
+			}
+			a.F = f
+			energy += e
+			selfRef = a.Next
+		}
 	})
 	return st, energy
 }

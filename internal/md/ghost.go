@@ -42,6 +42,11 @@ type exchange struct {
 	sendPlans map[int][]int      // requester rank -> my basis-0 local indices
 	selfCopy  []cellPair         // periodic images inside my own subdomain
 
+	// Reused pack buffer for every outgoing message and self-copy. The
+	// exchange runs twice per MD step; allocating fresh buffers each time
+	// dominated the allocs/op profile of BenchmarkMDStep.
+	scratch packer
+
 	tel exTelemetry
 }
 
@@ -213,17 +218,17 @@ func unpackCellPos(u *unpacker, s *neighbor.Store, base int, shift vec.V) {
 // run-away chains from the owning ranks (and local periodic images).
 func (e *exchange) ExchangePositions(s *neighbor.Store) {
 	sp := e.tel.posPack.Begin()
+	p := &e.scratch
 	for _, cp := range e.selfCopy {
-		var p packer
-		packCellPos(&p, s, cp.src)
+		p.reset()
+		packCellPos(p, s, cp.src)
 		u := unpacker{buf: p.buf}
 		unpackCellPos(&u, s, cp.dst, cp.shift)
 	}
 	for _, peer := range e.peers {
-		list := e.sendPlans[peer]
-		var p packer
-		for _, base := range list {
-			packCellPos(&p, s, base)
+		p.reset()
+		for _, base := range e.sendPlans[peer] {
+			packCellPos(p, s, base)
 		}
 		e.comm.Send(peer, tagPos, p.buf)
 		e.tel.bytes.Add(int64(len(p.buf)))
@@ -286,16 +291,17 @@ func unpackCellRho(u *unpacker, s *neighbor.Store, base int) {
 // ExchangeDensities refreshes ghost densities after the density pass.
 func (e *exchange) ExchangeDensities(s *neighbor.Store) {
 	sp := e.tel.rhoPack.Begin()
+	p := &e.scratch
 	for _, cp := range e.selfCopy {
-		var p packer
-		packCellRho(&p, s, cp.src)
+		p.reset()
+		packCellRho(p, s, cp.src)
 		u := unpacker{buf: p.buf}
 		unpackCellRho(&u, s, cp.dst)
 	}
 	for _, peer := range e.peers {
-		var p packer
+		p.reset()
 		for _, base := range e.sendPlans[peer] {
-			packCellRho(&p, s, base)
+			packCellRho(p, s, base)
 		}
 		e.comm.Send(peer, tagRho, p.buf)
 		e.tel.bytes.Add(int64(len(p.buf)))
@@ -349,8 +355,9 @@ func (e *exchange) SendMigrants(out []migrant) []migrant {
 			panic(fmt.Sprintf("md: migrant target rank %d is not a ghost peer", peer))
 		}
 	}
+	p := &e.scratch
 	for _, peer := range e.peers {
-		var p packer
+		p.reset()
 		for _, m := range byPeer[peer] {
 			p.i64(int64(m.anchor.X))
 			p.i64(int64(m.anchor.Y))

@@ -12,6 +12,12 @@ import (
 // round-trip them.
 type packer struct{ buf []byte }
 
+// reset empties the buffer but keeps its capacity, so a packer reused across
+// steps stops allocating once it has grown to the steady-state message size
+// (mpi.Comm.Send copies the payload, so the buffer is free to reuse
+// immediately after Send returns).
+func (p *packer) reset() { p.buf = p.buf[:0] }
+
 func (p *packer) u8(v uint8)   { p.buf = append(p.buf, v) }
 func (p *packer) u16(v uint16) { p.buf = binary.LittleEndian.AppendUint16(p.buf, v) }
 func (p *packer) i64(v int64)  { p.buf = binary.LittleEndian.AppendUint64(p.buf, uint64(v)) }

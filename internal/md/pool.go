@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"mdkmc/internal/neighbor"
 	"mdkmc/internal/perf"
@@ -12,24 +13,37 @@ import (
 )
 
 // ForceChunks is the fixed sharding granularity of the shared-memory force
-// driver: the owned cells are always partitioned into this many contiguous
-// ranges — the same 64-way slab split as the simulated CPE cluster —
-// regardless of how many OS workers execute them. Fixing the granularity
-// (instead of cutting one range per worker) is what makes the reduction
-// deterministic: every chunk's partial energy and operation counts are a
-// pure function of the store state, and the merge always walks chunks in
-// index order, so the result is bit-identical for every Workers value and
-// to the CPE kernel's per-lane reduction (DESIGN.md §9).
+// driver: the work of every round is always partitioned into this many
+// contiguous ranges — the same 64-way slab split as the simulated CPE
+// cluster — regardless of how many OS workers execute them. Fixing the
+// granularity (instead of cutting one range per worker) is what makes the
+// reduction deterministic: every chunk's partial energy and operation
+// counts are a pure function of the store state, and the merge always walks
+// chunks in index order, so the result is bit-identical for every Workers
+// value and to the CPE kernel's per-lane reduction (DESIGN.md §9).
 const ForceChunks = sunway.CPEsPerGroup
 
-// ForcePool runs the two force-field passes over a worker pool. It is safe
-// because the passes have disjoint writes by construction: the kernel is
-// full-neighbor (each central atom accumulates its own complete force and
-// density; pairs are evaluated from both sides rather than scattered via
-// Newton's third law), so a chunk only writes the F/Rho of atoms anchored
-// in its own cells while reading neighbor state that no concurrent chunk
-// writes — positions everywhere, densities only during the force pass,
-// which does not modify them.
+// roundKind identifies one barrier-separated sweep of a pass. Rounds of one
+// pass execute in order with a full barrier between them (all chunks of
+// round k complete before any chunk of round k+1 starts), which is what
+// lets a round read state the previous round wrote — the gather/reduce
+// split of the optimized kernel (DESIGN.md §13).
+type roundKind int
+
+const (
+	roundRefDensity roundKind = iota
+	roundDensityGather
+	roundDensityReduce
+	roundRefForce
+	roundFill
+	roundForceReduce
+)
+
+// ForcePool runs the force-field passes over a worker pool. Safety rests on
+// the rounds having disjoint writes by construction (see the concurrency
+// contract in neighbor.Store): a chunk writes only the state anchored in
+// its own range, and anything it reads of other ranges is not written by
+// any concurrent chunk of the same round.
 //
 // Workers == 1 executes the chunks inline on the calling goroutine and is
 // the retained serial reference mode (mirroring the KMC FullRescan
@@ -40,6 +54,8 @@ type ForcePool struct {
 
 	// Per-pass host timing of the most recent Densities/Forces call —
 	// real wall-clock, not the CPE cost model (see perf.WorkerTiming).
+	// Multi-round passes accumulate each worker's busy time and chunk
+	// count across rounds.
 	DensityTiming perf.WorkerTiming
 	ForceTiming   perf.WorkerTiming
 
@@ -50,6 +66,12 @@ type ForcePool struct {
 	densityBusy *telemetry.Timer   // md/pool/density-busy
 	forceBusy   *telemetry.Timer   // md/pool/force-busy
 	chunksRun   *telemetry.Counter // md/pool/chunks
+
+	// Reused per-run scratch (the force passes are the innermost hot loop
+	// of every MD step; per-call slice allocations would show up in the
+	// allocs/op benchmark gate).
+	busyAcc  []time.Duration
+	chunkAcc []int
 }
 
 // AttachTelemetry registers the pool's worker-busy timers and chunk counter
@@ -77,83 +99,134 @@ func ResolveWorkers(workers int) int {
 	return workers
 }
 
+// runChunk executes chunk i of the given round kind.
+func (p *ForcePool) runChunk(s *neighbor.Store, kind roundKind, i int) (OpStats, float64) {
+	switch kind {
+	case roundRefDensity:
+		lo, hi := s.Box.SpanCells(ForceChunks, i)
+		return p.FF.DensitiesRange(s, lo, hi), 0
+	case roundDensityGather:
+		lo, hi := s.Box.SpanCells(ForceChunks, i)
+		return p.FF.DensityGatherRange(s, lo, hi), 0
+	case roundDensityReduce:
+		lo, hi := s.Box.SpanCells(ForceChunks, i)
+		return p.FF.DensityReduceRange(s, lo, hi), 0
+	case roundRefForce:
+		lo, hi := s.Box.SpanCells(ForceChunks, i)
+		return p.FF.ForcesRange(s, lo, hi)
+	case roundFill:
+		lo, hi := s.Box.SpanLocalSites(ForceChunks, i)
+		return p.FF.FillEmbeddingRange(s, lo, hi), 0
+	default: // roundForceReduce
+		lo, hi := s.Box.SpanCells(ForceChunks, i)
+		return p.FF.ForceReduceRange(s, lo, hi)
+	}
+}
+
 // Densities runs the density pass sharded over the pool; bit-identical to
-// ForceField.DensitiesRange over the same chunks in any worker order.
+// the serial kernels over the same chunks in any worker order. The
+// optimized kernel runs two rounds (pair gather, then reduce); the
+// reference kernel one.
 func (p *ForcePool) Densities(s *neighbor.Store) OpStats {
-	st, _ := p.run(s, false, &p.DensityTiming)
+	var kinds [2]roundKind
+	rounds := kinds[:0]
+	if p.FF.Reference {
+		rounds = append(rounds, roundRefDensity)
+	} else {
+		rounds = append(rounds, roundDensityGather, roundDensityReduce)
+	}
+	st, _ := p.run(s, rounds, &p.DensityTiming, p.densityBusy)
 	return st
 }
 
 // Forces runs the force pass sharded over the pool and returns the owned
-// potential-energy share, reduced in chunk order.
+// potential-energy share, reduced in chunk order. The optimized kernel runs
+// two rounds (embedding fill over all local sites, then the cached-pair
+// force reduce); the reference kernel one.
 func (p *ForcePool) Forces(s *neighbor.Store) (OpStats, float64) {
-	return p.run(s, true, &p.ForceTiming)
+	var kinds [2]roundKind
+	rounds := kinds[:0]
+	if p.FF.Reference {
+		rounds = append(rounds, roundRefForce)
+	} else {
+		rounds = append(rounds, roundFill, roundForceReduce)
+	}
+	return p.run(s, rounds, &p.ForceTiming, p.forceBusy)
 }
 
-// run executes one pass: ForceChunks independent cell ranges dispatched to
-// the workers by a shared counter (dynamic load balancing — cascade cores
-// make chunks unequal), partial results stored per chunk and merged in
-// chunk-index order.
-func (p *ForcePool) run(s *neighbor.Store, force bool, timing *perf.WorkerTiming) (OpStats, float64) {
-	var perStats [ForceChunks]OpStats
-	var perEnergy [ForceChunks]float64
-	runChunk := func(i int) {
-		lo, hi := s.Box.SpanCells(ForceChunks, i)
-		if force {
-			perStats[i], perEnergy[i] = p.FF.ForcesRange(s, lo, hi)
-		} else {
-			perStats[i] = p.FF.DensitiesRange(s, lo, hi)
-		}
-	}
+// run executes one pass as a sequence of barrier-separated rounds, each of
+// ForceChunks independent chunks dispatched to the workers by a shared
+// counter (dynamic load balancing — cascade cores make chunks unequal).
+// Partial results are stored per (round, chunk) and merged in that order;
+// worker busy time and chunk counts accumulate across rounds.
+func (p *ForcePool) run(s *neighbor.Store, rounds []roundKind,
+	timing *perf.WorkerTiming, busyTimer *telemetry.Timer) (OpStats, float64) {
 
 	workers := ResolveWorkers(p.Workers)
 	timing.Reset(workers)
+	if cap(p.busyAcc) < workers {
+		p.busyAcc = make([]time.Duration, workers)
+		p.chunkAcc = make([]int, workers)
+	}
+	busyAcc := p.busyAcc[:workers]
+	chunkAcc := p.chunkAcc[:workers]
+	for w := range busyAcc {
+		busyAcc[w] = 0
+		chunkAcc[w] = 0
+	}
 	wall := perf.StartStopwatch()
-	if workers == 1 {
-		for i := 0; i < ForceChunks; i++ {
-			runChunk(i)
-		}
-		timing.Record(0, wall.Elapsed(), ForceChunks)
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func(w int) {
-				defer wg.Done()
-				busy := perf.StartStopwatch()
-				chunks := 0
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= ForceChunks {
-						break
+
+	var st OpStats
+	var energy float64
+	var perStats [ForceChunks]OpStats
+	var perEnergy [ForceChunks]float64
+	for _, kind := range rounds {
+		if workers == 1 {
+			busy := perf.StartStopwatch()
+			for i := 0; i < ForceChunks; i++ {
+				perStats[i], perEnergy[i] = p.runChunk(s, kind, i)
+			}
+			busyAcc[0] += busy.Elapsed()
+			chunkAcc[0] += ForceChunks
+		} else {
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					busy := perf.StartStopwatch()
+					chunks := 0
+					for {
+						i := int(next.Add(1)) - 1
+						if i >= ForceChunks {
+							break
+						}
+						perStats[i], perEnergy[i] = p.runChunk(s, kind, i)
+						chunks++
 					}
-					runChunk(i)
-					chunks++
-				}
-				timing.Record(w, busy.Elapsed(), chunks)
-			}(w)
+					busyAcc[w] += busy.Elapsed()
+					chunkAcc[w] += chunks
+				}(w)
+			}
+			wg.Wait() // barrier: next round reads what this round wrote
 		}
-		wg.Wait()
+		for i := 0; i < ForceChunks; i++ {
+			st.Add(perStats[i])
+			energy += perEnergy[i]
+		}
+	}
+	for w := 0; w < workers; w++ {
+		timing.Record(w, busyAcc[w], chunkAcc[w])
 	}
 	timing.Wall = wall.Elapsed()
 
-	busyTimer := p.densityBusy
-	if force {
-		busyTimer = p.forceBusy
-	}
 	if busyTimer != nil {
 		for _, b := range timing.Busy {
 			busyTimer.Observe(b)
 		}
 	}
-	p.chunksRun.Add(ForceChunks)
+	p.chunksRun.Add(int64(ForceChunks * len(rounds)))
 
-	var st OpStats
-	var energy float64
-	for i := 0; i < ForceChunks; i++ {
-		st.Add(perStats[i])
-		energy += perEnergy[i]
-	}
 	return st, energy
 }

@@ -35,6 +35,13 @@ type Rank struct {
 	LastStats OpStats // operation counts of the most recent force step
 	LastPE    float64 // owned share of potential energy at the last step
 
+	// coincidentErr records, sticky, the first force computation that
+	// encountered distinct atoms at bitwise-identical positions (see
+	// OpStats.Coincident). Such pairs are skipped — their mutual force is
+	// undefined — so the trajectory past that point is suspect; drivers
+	// should check CoincidenceError after stepping.
+	coincidentErr error
+
 	// Kernel, when set, replaces the plain force computation with the
 	// Sunway CPE-offloaded kernel (see cpekernel.go).
 	Kernel *CPEKernel
@@ -112,6 +119,7 @@ func NewRank(cfg Config, comm *mpi.Comm) (*Rank, error) {
 		Pot:   pot,
 		FF:    NewForceField(store, pot, cfg.Skin),
 	}
+	r.FF.Reference = cfg.ReferenceKernel
 	r.Pool = NewForcePool(r.FF, cfg.Workers)
 	r.Ex = newExchange(comm, grid, box)
 	if cfg.CuFraction > 0 {
@@ -238,7 +246,16 @@ func (r *Rank) computeForces() {
 	sp.End()
 	st.Add(fst)
 	r.LastStats = st
+	if st.Coincident > 0 && r.coincidentErr == nil {
+		r.coincidentErr = fmt.Errorf(
+			"md: step %d: %d coincident atom pair encounters (distinct atoms at identical positions); their interaction was skipped and the trajectory is suspect",
+			r.StepCount, st.Coincident)
+	}
 }
+
+// CoincidenceError returns the sticky error recorded the first time a force
+// computation skipped coincident atom pairs, or nil if none occurred.
+func (r *Rank) CoincidenceError() error { return r.coincidentErr }
 
 // halfKick advances owned velocities by dt/2 under the current forces.
 func (r *Rank) halfKick() {

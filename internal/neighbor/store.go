@@ -41,7 +41,12 @@ type Runaway struct {
 	Vel  vec.V
 	F    vec.V
 	Rho  float64
-	Next int32 // next pool index in the same site's chain, or NoRunaway
+	// DFdRho and EmbedE cache F'(ρ) and F(ρ) between the density and force
+	// passes (filled by ForceField.FillEmbeddingRange from Rho; never
+	// exchanged — each rank recomputes them locally, ghosts included).
+	DFdRho float64
+	EmbedE float64
+	Next   int32 // next pool index in the same site's chain, or NoRunaway
 }
 
 // Store is the lattice neighbor list for one subdomain (owned cells plus
@@ -68,6 +73,14 @@ type Store struct {
 	F    []vec.V
 	Rho  []float64
 	Head []int32 // head of the run-away chain anchored at this site
+	// DFdRho and EmbedE hold the embedding derivative F'(ρ) and energy F(ρ)
+	// of every local atom (ghosts included), precomputed once per force
+	// computation after the density exchange so the pair loop indexes an
+	// array instead of re-evaluating the embedding table O(pairs) times.
+	// Derived state: filled by the embedding pass, never snapshotted or
+	// exchanged.
+	DFdRho []float64
+	EmbedE []float64
 
 	pool []Runaway
 	free int32 // free-list head within pool, chained via Next
@@ -93,9 +106,11 @@ func NewStore(box *lattice.Box, tab *lattice.OffsetTable, species units.Element)
 		R:    make([]vec.V, n),
 		Vel:  make([]vec.V, n),
 		F:    make([]vec.V, n),
-		Rho:  make([]float64, n),
-		Head: make([]int32, n),
-		free: NoRunaway,
+		Rho:    make([]float64, n),
+		Head:   make([]int32, n),
+		DFdRho: make([]float64, n),
+		EmbedE: make([]float64, n),
+		free:   NoRunaway,
 	}
 	l := box.L
 	for local := 0; local < n; local++ {
@@ -251,13 +266,14 @@ func (s *Store) CountVacancies() int {
 
 // MemoryBytes returns the approximate heap footprint of the structure: the
 // quantity the paper's Figure 11 capacity claim is about. Per site: ID(8) +
-// Type(1) + R/Vel/F(3×24) + Rho(8) + Head(4); plus the run-away pool.
+// Type(1) + R/Vel/F(3×24) + Rho(8) + Head(4) + DFdRho/EmbedE(2×8); plus the
+// run-away pool.
 func (s *Store) MemoryBytes() int {
-	perSite := 8 + 1 + 3*24 + 8 + 4
-	return perSite*len(s.ID) + 96*cap(s.pool) +
+	perSite := 8 + 1 + 3*24 + 8 + 4 + 2*8
+	return perSite*len(s.ID) + 112*cap(s.pool) +
 		4*(len(s.deltas[0])+len(s.deltas[1]))
 }
 
 // PerSiteBytes returns the per-site memory cost of the lattice neighbor
 // list, excluding the (small) run-away pool.
-func PerSiteBytes() int { return 8 + 1 + 3*24 + 8 + 4 }
+func PerSiteBytes() int { return 8 + 1 + 3*24 + 8 + 4 + 2*8 }
