@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: check build test vet lint staticcheck govulncheck race recovery bench-kmc bench-md bench-json bench-gate smoke smoke-telemetry fuzz-setfl figures
+.PHONY: check build test vet lint staticcheck govulncheck race recovery cover bench-kmc bench-md bench-json bench-gate smoke smoke-telemetry fuzz-setfl fuzz-manifest figures
 
 check: vet lint build race
 
@@ -39,22 +39,38 @@ govulncheck:
 	$(GO) run golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION) ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # The hot concurrent packages run first with -count=1 so the race detector
 # always re-executes them (a cached "ok" proves nothing); internal/couple
 # joins the list because the checkpoint coordinator and fault-injection
 # recovery tests exercise the rank-abort paths across goroutines. The full
-# suite then runs under -race as well.
+# suite then runs under -race as well. Both passes shuffle test and subtest
+# order so latent ordering assumptions surface instead of calcifying (the
+# seed is printed on failure for replay with -shuffle=<seed>).
 race:
-	$(GO) test -race -count=1 ./internal/md ./internal/mpi ./internal/couple ./internal/telemetry
-	$(GO) test -race ./...
+	$(GO) test -race -count=1 -shuffle=on ./internal/md ./internal/mpi ./internal/couple ./internal/telemetry
+	$(GO) test -race -shuffle=on ./...
 
 # The fault-injection recovery gate on its own: crash a coupled run at an
 # armed point, restart from the newest snapshot, demand bit-identical
 # results (plus the atomic-commit guarantee).
 recovery:
 	$(GO) test -race -count=1 -run 'TestRecovery|TestAtomicCommit' ./internal/couple
+
+# Per-package coverage with an enforced floor on internal/couple — the
+# restart-correctness core (checkpoint coordinator, re-shard loaders,
+# repartitioner). The merged profile (cover.out) and the couple-only
+# profile (cover_couple.out) are uploaded as CI artifacts.
+COUPLE_COVER_FLOOR ?= 80
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) test -coverprofile=cover_couple.out ./internal/couple
+	@pct=$$($(GO) tool cover -func=cover_couple.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "internal/couple coverage: $$pct% (floor $(COUPLE_COVER_FLOOR)%)"; \
+	awk -v p=$$pct -v f=$(COUPLE_COVER_FLOOR) 'BEGIN {exit (p+0 < f) ? 1 : 0}' || \
+	{ echo "FAIL: internal/couple coverage $$pct% is below the $(COUPLE_COVER_FLOOR)% floor"; exit 1; }
 
 # The incremental-vs-rescan KMC cycle contrast (EXPERIMENTS.md).
 bench-kmc:
@@ -93,6 +109,12 @@ smoke-telemetry:
 # plain `go test`; this explores further).
 fuzz-setfl:
 	$(GO) test -run '^$$' -fuzz 'FuzzReadSetfl' -fuzztime 30s ./internal/eam
+
+# Short fuzz pass over the checkpoint manifest loader: damaged restart
+# metadata must yield descriptive couple: errors and be skipped by Latest,
+# never panic (seeds start from manifests a real run committed).
+fuzz-manifest:
+	$(GO) test -run '^$$' -fuzz 'FuzzManifest' -fuzztime 30s ./internal/couple
 
 figures:
 	$(GO) run ./cmd/figures

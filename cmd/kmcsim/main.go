@@ -28,11 +28,12 @@ func main() {
 		seed   = flag.Uint64("seed", 1, "random seed")
 		proto  = flag.String("protocol", "on-demand", "traditional|on-demand|on-demand-1sided")
 
-		ckptDir   = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
-		ckptEvery = flag.Int("checkpoint-every", 10, "snapshot cadence in KMC cycles")
-		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
-		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
-		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: kmc-cycle, checkpoint-commit)")
+		ckptDir      = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
+		ckptEvery    = flag.Int("checkpoint-every", 10, "snapshot cadence in KMC cycles")
+		ckptKeep     = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
+		restart      = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
+		restartRanks = flag.Int("restart-ranks", 0, "resume onto this many ranks: picks a near-cubic grid, re-shards the snapshot (overrides -gx/-gy/-gz; requires -restart)")
+		faultSpec    = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: kmc-cycle, checkpoint-commit)")
 
 		metrics      = flag.Bool("metrics", false, "collect runtime telemetry and print the per-phase report")
 		metricsOut   = flag.String("metrics-out", "", "write telemetry snapshots and the final report as JSONL (implies -metrics)")
@@ -68,6 +69,16 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
 		os.Exit(2)
+	}
+	if *restartRanks > 0 {
+		if !*restart {
+			log.Fatal("kmcsim: -restart-ranks requires -restart")
+		}
+		g, err := mdkmc.ChooseGrid(cfg.Cells, *restartRanks, cfg.GhostWidth())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Grid = g
 	}
 
 	res, err := mdkmc.RunKMCCheckpointed(cfg, *cycles, 0, mdkmc.Checkpoint{

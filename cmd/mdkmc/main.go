@@ -28,11 +28,13 @@ func main() {
 		temp    = flag.Float64("temp", 300, "temperature in K")
 		seed    = flag.Uint64("seed", 1, "random seed")
 
-		ckptDir   = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
-		ckptEvery = flag.Int("checkpoint-every", 50, "snapshot cadence in MD steps / KMC cycles")
-		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
-		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
-		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, kmc-cycle, checkpoint-commit)")
+		ckptDir      = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
+		ckptEvery    = flag.Int("checkpoint-every", 50, "snapshot cadence in MD steps / KMC cycles")
+		ckptKeep     = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
+		restart      = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
+		restartRanks = flag.Int("restart-ranks", 0, "resume onto this many ranks: picks a near-cubic grid, re-shards the snapshot (overrides -gx/-gy/-gz; requires -restart)")
+		rebalEvery   = flag.Int("rebalance-every", 0, "refit the KMC decomposition to the defect distribution at the MD→KMC handoff and every N cycles (0 = uniform slabs)")
+		faultSpec    = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, kmc-cycle, checkpoint-commit)")
 
 		metrics      = flag.Bool("metrics", false, "collect runtime telemetry and print the per-phase report")
 		metricsOut   = flag.String("metrics-out", "", "write telemetry snapshots and the final report as JSONL (implies -metrics)")
@@ -61,6 +63,26 @@ func main() {
 	mcfg.Seed = *seed
 	mcfg.PKA = &mdkmc.PKA{Energy: *pka}
 
+	if *restartRanks > 0 {
+		if !*restart {
+			log.Fatal("mdkmc: -restart-ranks requires -restart")
+		}
+		// The KMC stage's ghost halo is the wider of the two stages' slab
+		// constraints, so it governs the grid choice.
+		kcfg := mdkmc.DefaultKMCConfig()
+		kcfg.Cells = mcfg.Cells
+		kcfg.A = mcfg.A
+		minW := kcfg.GhostWidth()
+		if w := mcfg.GhostWidth(); w > minW {
+			minW = w
+		}
+		g, err := mdkmc.ChooseGrid(mcfg.Cells, *restartRanks, minW)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mcfg.Grid = g
+	}
+
 	res, err := mdkmc.RunCoupled(mdkmc.CoupledConfig{
 		MD:        mcfg,
 		KMCCycles: *cycles,
@@ -71,6 +93,7 @@ func main() {
 			Keep:    *ckptKeep,
 			Restart: *restart,
 		},
+		Rebalance: mdkmc.Rebalance{Handoff: *rebalEvery > 0, Every: *rebalEvery},
 		Faults:    faults,
 		Telemetry: tel,
 	})

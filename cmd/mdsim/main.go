@@ -30,11 +30,12 @@ func main() {
 		mode    = flag.String("tables", "compacted", "potential evaluation: analytic|compacted|traditional")
 		workers = flag.Int("workers", 0, "force-pass worker goroutines per rank (0 = GOMAXPROCS, 1 = serial reference)")
 
-		ckptDir   = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
-		ckptEvery = flag.Int("checkpoint-every", 50, "snapshot cadence in MD steps")
-		ckptKeep  = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
-		restart   = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
-		faultSpec = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, checkpoint-commit)")
+		ckptDir      = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
+		ckptEvery    = flag.Int("checkpoint-every", 50, "snapshot cadence in MD steps")
+		ckptKeep     = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
+		restart      = flag.Bool("restart", false, "resume from the newest valid snapshot in -checkpoint-dir")
+		restartRanks = flag.Int("restart-ranks", 0, "resume onto this many ranks: picks a near-cubic grid, re-shards the snapshot (overrides -gx/-gy/-gz; requires -restart)")
+		faultSpec    = flag.String("inject-fault", "", "fault plan \"point:rank:step,...\" (points: md-step, checkpoint-commit)")
 
 		metrics      = flag.Bool("metrics", false, "collect runtime telemetry and print the per-phase report")
 		metricsOut   = flag.String("metrics-out", "", "write telemetry snapshots and the final report as JSONL (implies -metrics)")
@@ -75,6 +76,16 @@ func main() {
 	}
 	if *pka > 0 {
 		cfg.PKA = &mdkmc.PKA{Energy: *pka}
+	}
+	if *restartRanks > 0 {
+		if !*restart {
+			log.Fatal("mdsim: -restart-ranks requires -restart")
+		}
+		g, err := mdkmc.ChooseGrid(cfg.Cells, *restartRanks, cfg.GhostWidth())
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Grid = g
 	}
 
 	res, err := mdkmc.RunMDCheckpointed(cfg, mdkmc.Checkpoint{

@@ -3,6 +3,7 @@ package mdkmc
 import (
 	"fmt"
 	"math"
+	"reflect"
 
 	"mdkmc/internal/cluster"
 	"mdkmc/internal/couple"
@@ -44,6 +45,11 @@ type (
 	Checkpoint = couple.Checkpoint
 	// Manifest describes one committed snapshot (see LatestCheckpoint).
 	Manifest = couple.Manifest
+	// Topology records the Cartesian decomposition a snapshot was written
+	// under; restarts onto a different topology re-shard (DESIGN.md §14).
+	Topology = couple.Topology
+	// Rebalance configures the telemetry-calibrated dynamic load balancer.
+	Rebalance = couple.Rebalance
 	// Fault schedules an injected rank failure for recovery testing.
 	Fault = mpi.Fault
 	// InjectedFault is the error a fault-killed run returns (errors.As).
@@ -148,14 +154,12 @@ func prepareCheckpoint(ck Checkpoint, hash, stage string, ranks int) (*couple.Co
 	if err != nil {
 		return nil, nil, err
 	}
-	if man != nil {
-		if man.Stage != stage {
-			return nil, nil, fmt.Errorf("mdkmc: checkpoint holds a %q-stage snapshot, this is a %s run", man.Stage, stage)
-		}
-		if man.Ranks != ranks {
-			return nil, nil, fmt.Errorf("mdkmc: checkpoint has %d ranks, this run needs %d", man.Ranks, ranks)
-		}
+	if man != nil && man.Stage != stage {
+		return nil, nil, fmt.Errorf("mdkmc: checkpoint holds a %q-stage snapshot, this is a %s run", man.Stage, stage)
 	}
+	// A rank-count mismatch is no longer an error: the manifest records the
+	// source topology and the restore path re-shards onto this run's grid
+	// (DESIGN.md §14).
 	return co, man, nil
 }
 
@@ -199,15 +203,24 @@ func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, opts ...RunOption) (*MDResul
 			return err
 		}
 		r.AttachTelemetry(reg)
+		topo := couple.Topology{Grid: cfg.Grid, Cuts: r.Grid.Cuts()}
 		start := 0
 		if man != nil {
-			rc, err := man.Open(c.Rank())
+			srcGrid, err := man.Topology.SourceGrid(r.L)
 			if err != nil {
 				return err
 			}
-			err = r.Restore(rc)
-			rc.Close()
-			if err != nil {
+			if reflect.DeepEqual(srcGrid.Cuts(), r.Grid.Cuts()) {
+				rc, err := man.Open(c.Rank())
+				if err != nil {
+					return err
+				}
+				err = r.Restore(rc)
+				rc.Close()
+				if err != nil {
+					return err
+				}
+			} else if err := r.RestoreResharded(md.ShardSource{Grid: srcGrid, Open: man.Open}); err != nil {
 				return err
 			}
 			start = man.Step
@@ -216,7 +229,7 @@ func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, opts ...RunOption) (*MDResul
 			r.Step()
 			step := i + 1
 			if co.Due(step) && step < cfg.Steps {
-				if err := co.Snapshot(c, couple.StageMD, step, nil, r.Save); err != nil {
+				if err := co.Snapshot(c, couple.StageMD, step, topo, nil, r.Save); err != nil {
 					return err
 				}
 			}
@@ -326,21 +339,30 @@ func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkp
 			return err
 		}
 		st.AttachTelemetry(reg)
+		topo := couple.Topology{Grid: cfg.Grid, Cuts: st.Grid.Cuts()}
 		if man != nil {
-			rc, err := man.Open(c.Rank())
+			srcGrid, err := man.Topology.SourceGrid(st.L)
 			if err != nil {
 				return err
 			}
-			err = st.Restore(rc)
-			rc.Close()
-			if err != nil {
+			if reflect.DeepEqual(srcGrid.Cuts(), st.Grid.Cuts()) {
+				rc, err := man.Open(c.Rank())
+				if err != nil {
+					return err
+				}
+				err = st.Restore(rc)
+				rc.Close()
+				if err != nil {
+					return err
+				}
+			} else if err := st.RestoreResharded(kmc.ShardSource{Grid: srcGrid, Open: man.Open}); err != nil {
 				return err
 			}
 		}
 		for st.Time < tThreshold && st.Cycles < cycles {
 			st.Cycle()
 			if co.Due(st.Cycles) && st.Cycles < cycles {
-				if err := co.Snapshot(c, couple.StageKMC, st.Cycles, nil, st.Save); err != nil {
+				if err := co.Snapshot(c, couple.StageKMC, st.Cycles, topo, nil, st.Save); err != nil {
 					return err
 				}
 			}
@@ -391,6 +413,20 @@ func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkp
 // LatestCheckpoint returns the newest valid snapshot manifest under dir for
 // the configuration digest hash, or (nil, nil) when dir holds none.
 func LatestCheckpoint(dir, hash string) (*Manifest, error) { return couple.Latest(dir, hash) }
+
+// ChooseGrid picks a near-cubic px×py×pz process grid for ranks over an
+// nx×ny×nz-cell box, subject to every slab being at least minWidth cells
+// wide (the consumer's ghost constraint). It is the topology chooser behind
+// the CLIs' -restart-ranks flag: the elastic restart path re-shards the
+// checkpoint onto the grid this returns.
+func ChooseGrid(cells [3]int, ranks, minWidth int) ([3]int, error) {
+	l := lattice.New(cells[0], cells[1], cells[2], 1)
+	px, py, pz, err := lattice.ChooseGrid(l, ranks, minWidth)
+	if err != nil {
+		return [3]int{}, err
+	}
+	return [3]int{px, py, pz}, nil
+}
 
 // RunCoupled executes the full MD→KMC pipeline (paper §2).
 func RunCoupled(cfg CoupledConfig) (*CoupledResult, error) { return couple.Run(cfg) }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -56,8 +57,11 @@ const (
 	StageKMC = "kmc"
 )
 
+// Version history: 1 carried (Seq, Stage, Step, Ranks, ConfigHash, MD);
+// 2 adds the source topology (Grid, Cuts) so a snapshot can be re-sharded
+// onto a different rank count or slab layout at restart (DESIGN.md §14).
 const (
-	manifestVersion = 1
+	manifestVersion = 2
 	manifestName    = "manifest.json"
 	tmpDirName      = ".tmp-ckpt"
 	defaultKeep     = 2
@@ -71,6 +75,24 @@ type MDSummary struct {
 	BeforeSites []lattice.Coord
 }
 
+// Topology records the Cartesian decomposition that wrote a snapshot: the
+// process grid and, when the repartitioner had shifted slab boundaries away
+// from the uniform split, the explicit cuts. It is what the re-shard loader
+// needs to interpret the per-rank shard files.
+type Topology struct {
+	Grid [3]int
+	Cuts [3][]int `json:",omitempty"`
+}
+
+// SourceGrid rebuilds the decomposition over lattice l.
+func (t Topology) SourceGrid(l *lattice.Lattice) (*lattice.Grid, error) {
+	g, err := lattice.NewGridCuts(l, t.Grid[0], t.Grid[1], t.Grid[2], t.Cuts)
+	if err != nil {
+		return nil, fmt.Errorf("couple: manifest topology invalid: %w", err)
+	}
+	return g, nil
+}
+
 // Manifest describes one committed snapshot.
 type Manifest struct {
 	Version    int
@@ -78,6 +100,7 @@ type Manifest struct {
 	Stage      string // StageMD or StageKMC
 	Step       int    // MD steps / KMC cycles completed at the snapshot
 	Ranks      int
+	Topology   Topology // decomposition that wrote the rank files
 	ConfigHash string
 	MD         *MDSummary `json:",omitempty"` // present on KMC-stage coupled snapshots
 
@@ -100,9 +123,10 @@ var ckptDirRe = regexp.MustCompile(`^ckpt-(\d{6})$`)
 // Latest returns the newest valid snapshot manifest in dir, or (nil, nil)
 // when dir holds none. A snapshot is valid when its manifest decodes and
 // every rank file it promises exists; newer corrupt directories are skipped
-// in favor of older complete ones. A manifest whose ConfigHash differs from
-// hash is an error: resuming under a diverging configuration would silently
-// change the trajectory.
+// in favor of older complete ones, and every rejection is logged with its
+// reason — silent fallback once hid real data loss from operators. A
+// manifest whose ConfigHash differs from hash is an error: resuming under a
+// diverging configuration would silently change the trajectory.
 func Latest(dir, hash string) (*Manifest, error) {
 	entries, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
@@ -120,9 +144,13 @@ func Latest(dir, hash string) (*Manifest, error) {
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(seqs)))
 	for _, seq := range seqs {
-		man, err := loadManifest(filepath.Join(dir, fmt.Sprintf("ckpt-%06d", seq)))
+		name := fmt.Sprintf("ckpt-%06d", seq)
+		man, err := loadManifest(filepath.Join(dir, name))
 		if err != nil {
-			continue // damaged snapshot; fall back to an older one
+			// Damaged snapshot; fall back to an older one, but say so — the
+			// operator should know a committed snapshot went bad.
+			log.Printf("couple: skipping damaged snapshot %s: %v", name, err)
+			continue
 		}
 		if man.ConfigHash != hash {
 			return nil, fmt.Errorf("couple: checkpoint %d was written by config %s, current config is %s",
@@ -151,6 +179,19 @@ func loadManifest(dir string) (*Manifest, error) {
 	}
 	if man.Ranks <= 0 {
 		return nil, fmt.Errorf("couple: manifest has %d ranks", man.Ranks)
+	}
+	if man.Step < 0 {
+		return nil, fmt.Errorf("couple: manifest has negative step %d", man.Step)
+	}
+	g := man.Topology.Grid
+	if g[0]*g[1]*g[2] != man.Ranks {
+		return nil, fmt.Errorf("couple: manifest topology %v does not yield %d ranks", g, man.Ranks)
+	}
+	for d := 0; d < 3; d++ {
+		if cs := man.Topology.Cuts[d]; cs != nil && len(cs) != g[d]+1 {
+			return nil, fmt.Errorf("couple: manifest dim %d has %d cut values for %d slabs",
+				d, len(cs), g[d])
+		}
 	}
 	for r := 0; r < man.Ranks; r++ {
 		if _, err := os.Stat(filepath.Join(dir, rankFileName(r))); err != nil {
@@ -222,9 +263,10 @@ func (co *Coordinator) Due(step int) bool {
 
 // Snapshot collectively writes one snapshot of the active stage: every rank
 // streams its state through save into the shared staging directory, then
-// rank 0 writes the manifest and commits with an atomic rename. It must be
-// entered by all ranks with identical (stage, step).
-func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, md *MDSummary, save func(io.Writer) error) error {
+// rank 0 writes the manifest — recording the decomposition topo that the
+// rank files were sliced by — and commits with an atomic rename. It must be
+// entered by all ranks with identical (stage, step, topo).
+func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, topo Topology, md *MDSummary, save func(io.Writer) error) error {
 	reg := co.set.Rank(c.Rank())
 	snap := reg.Timer("couple/checkpoint").Begin()
 	defer snap.End()
@@ -259,6 +301,7 @@ func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, md *MDSumma
 			Stage:      stage,
 			Step:       step,
 			Ranks:      c.Size(),
+			Topology:   topo,
 			ConfigHash: co.hash,
 			MD:         md,
 		}

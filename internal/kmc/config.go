@@ -13,6 +13,8 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"mdkmc/internal/eam"
+	"mdkmc/internal/lattice"
 	"mdkmc/internal/units"
 )
 
@@ -49,7 +51,12 @@ func (p Protocol) String() string {
 type Config struct {
 	Cells [3]int
 	Grid  [3]int
-	A     float64
+	// Cuts, when a dimension is non-nil, are explicit slab boundaries of the
+	// process grid (lattice.NewGridCuts) — set by the repartitioner to
+	// concentrate ranks on the defect-dense region. A topology knob like
+	// Grid, excluded from Hash.
+	Cuts [3][]int
+	A    float64
 
 	Temperature float64 // K
 	Nu          float64 // attempt frequency (1/s)
@@ -140,11 +147,14 @@ func (c *Config) Validate() error {
 // configuration is refused instead of silently producing a different
 // trajectory. Protocol and FullRescan are excluded: both are documented
 // bit-identical knobs (DESIGN.md §7/§8), so a run may legally resume under
-// a different communication protocol or rescan mode. The explicit
-// Vacancies/CuSites lists are hashed in full — they seed the occupancy.
+// a different communication protocol or rescan mode. Grid and Cuts are also
+// excluded (DESIGN.md §14): topology is restart-compatible-but-checked —
+// recorded in the checkpoint manifest and handled by the re-shard loader
+// rather than refused. The explicit Vacancies/CuSites lists are hashed in
+// full — they seed the occupancy.
 func (c *Config) Hash() string {
-	s := fmt.Sprintf("kmc|cells=%v|grid=%v|a=%v|T=%v|nu=%v|em=%v|cv=%v|vac=%v|cuc=%v|cusites=%v|emcu=%v|seed=%d|dtf=%v",
-		c.Cells, c.Grid, c.A, c.Temperature, c.Nu, c.Em,
+	s := fmt.Sprintf("kmc|cells=%v|a=%v|T=%v|nu=%v|em=%v|cv=%v|vac=%v|cuc=%v|cusites=%v|emcu=%v|seed=%d|dtf=%v",
+		c.Cells, c.A, c.Temperature, c.Nu, c.Em,
 		c.VacancyConcentration, c.Vacancies, c.CuConcentration, c.CuSites,
 		c.EmCu, c.Seed, c.DtFactor)
 	sum := sha256.Sum256([]byte(s))
@@ -153,6 +163,21 @@ func (c *Config) Hash() string {
 
 // Ranks returns the process count the configuration requires.
 func (c *Config) Ranks() int { return c.Grid[0] * c.Grid[1] * c.Grid[2] }
+
+// GhostWidth returns the ghost-halo width in cells a State built from this
+// configuration uses — also the minimum slab width of any legal
+// decomposition (NewState refuses thinner subdomains), which topology
+// choosers must respect when picking a grid for elastic restart.
+func (c *Config) GhostWidth() int {
+	var pot *eam.Potential
+	if c.CuConcentration > 0 || len(c.CuSites) > 0 {
+		pot = eam.NewFeCu(eam.Compacted, eam.TablePoints)
+	} else {
+		pot = eam.NewFe(eam.Compacted, eam.TablePoints)
+	}
+	l := lattice.New(c.Cells[0], c.Cells[1], c.Cells[2], c.A)
+	return 2*l.NeighborOffsets(pot.Cutoff).MaxCellReach() + 1
+}
 
 // NumSites returns the number of lattice sites.
 func (c *Config) NumSites() int { return 2 * c.Cells[0] * c.Cells[1] * c.Cells[2] }

@@ -117,7 +117,7 @@ func NewState(cfg Config, comm *mpi.Comm) (*State, error) {
 			cfg.Grid, cfg.Ranks(), comm.Size())
 	}
 	l := lattice.New(cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], cfg.A)
-	grid, err := lattice.NewGrid(l, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2])
+	grid, err := lattice.NewGridCuts(l, cfg.Grid[0], cfg.Grid[1], cfg.Grid[2], cfg.Cuts)
 	if err != nil {
 		return nil, err
 	}

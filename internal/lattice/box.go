@@ -121,10 +121,19 @@ func (b *Box) SpanCells(n, i int) (lo, hi int) { return span(b.OwnedCells(), n, 
 // primitive of passes that sweep the full halo, such as the embedding fill.
 func (b *Box) SpanLocalSites(n, i int) (lo, hi int) { return span(b.NumLocalSites(), n, i) }
 
-// Grid is a Cartesian process grid over the lattice cells.
+// Grid is a Cartesian process grid over the lattice cells. By default each
+// dimension is split uniformly (span); a grid built by NewGridCuts instead
+// carries explicit slab boundaries per dimension, the geometry the
+// telemetry-driven repartitioner and the elastic-restart re-shard loader
+// work in.
 type Grid struct {
 	L          *Lattice
 	Px, Py, Pz int
+
+	// cuts, when non-nil in a dimension, are the P_d+1 strictly increasing
+	// slab boundaries of that dimension (first 0, last N_d). A nil slice
+	// means the uniform span() split.
+	cuts [3][]int
 }
 
 // NewGrid validates and builds a process grid. Each dimension of the process
@@ -138,6 +147,82 @@ func NewGrid(l *Lattice, px, py, pz int) (*Grid, error) {
 			px, py, pz, l.Nx, l.Ny, l.Nz)
 	}
 	return &Grid{L: l, Px: px, Py: py, Pz: pz}, nil
+}
+
+// NewGridCuts builds a rectilinear process grid with explicit slab
+// boundaries. cuts[d] must hold P_d+1 strictly increasing values starting at
+// 0 and ending at the cell count of dimension d; every slab must be at least
+// one cell wide. A nil cuts[d] falls back to the uniform split of that
+// dimension.
+func NewGridCuts(l *Lattice, px, py, pz int, cuts [3][]int) (*Grid, error) {
+	g, err := NewGrid(l, px, py, pz)
+	if err != nil {
+		return nil, err
+	}
+	dims := [3]int{l.Nx, l.Ny, l.Nz}
+	ps := [3]int{px, py, pz}
+	for d := 0; d < 3; d++ {
+		cs := cuts[d]
+		if cs == nil {
+			continue
+		}
+		if len(cs) != ps[d]+1 {
+			return nil, fmt.Errorf("lattice: dim %d has %d cut values, want %d for %d slabs",
+				d, len(cs), ps[d]+1, ps[d])
+		}
+		if cs[0] != 0 || cs[len(cs)-1] != dims[d] {
+			return nil, fmt.Errorf("lattice: dim %d cuts %v must start at 0 and end at %d",
+				d, cs, dims[d])
+		}
+		for i := 1; i < len(cs); i++ {
+			if cs[i] <= cs[i-1] {
+				return nil, fmt.Errorf("lattice: dim %d cuts %v not strictly increasing", d, cs)
+			}
+		}
+		g.cuts[d] = append([]int(nil), cs...)
+	}
+	return g, nil
+}
+
+// Cuts returns the materialized slab boundaries of every dimension (the
+// uniform span boundaries when no explicit cuts were set): cuts[d] has
+// P_d+1 entries, first 0, last the cell count. The result is a copy.
+func (g *Grid) Cuts() [3][]int {
+	dims := [3]int{g.L.Nx, g.L.Ny, g.L.Nz}
+	ps := [3]int{g.Px, g.Py, g.Pz}
+	var out [3][]int
+	for d := 0; d < 3; d++ {
+		out[d] = make([]int, ps[d]+1)
+		if g.cuts[d] != nil {
+			copy(out[d], g.cuts[d])
+			continue
+		}
+		for i := 0; i < ps[d]; i++ {
+			lo, hi := span(dims[d], ps[d], i)
+			out[d][i] = lo
+			out[d][i+1] = hi
+		}
+	}
+	return out
+}
+
+// Uniform reports whether the grid uses the default uniform split in every
+// dimension (no explicit cuts, or cuts equal to the uniform boundaries).
+func (g *Grid) Uniform() bool {
+	dims := [3]int{g.L.Nx, g.L.Ny, g.L.Nz}
+	ps := [3]int{g.Px, g.Py, g.Pz}
+	for d := 0; d < 3; d++ {
+		if g.cuts[d] == nil {
+			continue
+		}
+		for i := 0; i < ps[d]; i++ {
+			lo, hi := span(dims[d], ps[d], i)
+			if g.cuts[d][i] != lo || g.cuts[d][i+1] != hi {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Ranks returns the total rank count Px*Py*Pz.
@@ -183,9 +268,15 @@ func min(a, b int) int {
 func (g *Grid) Box(r, ghost int) *Box {
 	x, y, z := g.RankCoord(r)
 	b := &Box{L: g.L, Ghost: ghost}
-	b.Lo[0], b.Hi[0] = span(g.L.Nx, g.Px, x)
-	b.Lo[1], b.Hi[1] = span(g.L.Ny, g.Py, y)
-	b.Lo[2], b.Hi[2] = span(g.L.Nz, g.Pz, z)
+	for d, slot := range [3]int{x, y, z} {
+		if cs := g.cuts[d]; cs != nil {
+			b.Lo[d], b.Hi[d] = cs[slot], cs[slot+1]
+		} else {
+			dims := [3]int{g.L.Nx, g.L.Ny, g.L.Nz}
+			ps := [3]int{g.Px, g.Py, g.Pz}
+			b.Lo[d], b.Hi[d] = span(dims[d], ps[d], slot)
+		}
+	}
 	return b
 }
 
@@ -194,7 +285,31 @@ func (g *Grid) RankOfCell(x, y, z int32) int {
 	x = wrapInt(x, int32(g.L.Nx))
 	y = wrapInt(y, int32(g.L.Ny))
 	z = wrapInt(z, int32(g.L.Nz))
-	return g.Rank(slotOf(int(x), g.L.Nx, g.Px), slotOf(int(y), g.L.Ny, g.Py), slotOf(int(z), g.L.Nz, g.Pz))
+	return g.Rank(
+		g.slot(0, int(x), g.L.Nx, g.Px),
+		g.slot(1, int(y), g.L.Ny, g.Py),
+		g.slot(2, int(z), g.L.Nz, g.Pz),
+	)
+}
+
+// slot returns which of the p slabs of dimension d contains cell v of n,
+// consulting explicit cuts when present.
+func (g *Grid) slot(d, v, n, p int) int {
+	cs := g.cuts[d]
+	if cs == nil {
+		return slotOf(v, n, p)
+	}
+	// Binary search: largest i with cs[i] <= v.
+	lo, hi := 0, p-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if cs[mid] <= v {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
 }
 
 // slotOf inverts span: which of the p slots contains cell v of n.

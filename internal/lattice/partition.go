@@ -1,0 +1,154 @@
+package lattice
+
+import (
+	"fmt"
+	"math"
+)
+
+// FitCuts computes slab boundaries for a px×py×pz rectilinear decomposition
+// that balances the given per-cell cost. The cost of each axis slab is the
+// sum of cost over its cells; cuts are chosen per axis from the marginal cost
+// profile (sum over the orthogonal plane), the standard separable
+// approximation to rectilinear partitioning. minWidth[d] is the minimum slab
+// width of dimension d in cells (the ghost-halo constraint of the consumer).
+// cost must be finite and non-negative; a uniformly zero cost yields the
+// uniform split. The result is deterministic in all inputs.
+func FitCuts(l *Lattice, px, py, pz int, minWidth [3]int, cost func(x, y, z int) float64) ([3][]int, error) {
+	dims := [3]int{l.Nx, l.Ny, l.Nz}
+	ps := [3]int{px, py, pz}
+	var cuts [3][]int
+	for d := 0; d < 3; d++ {
+		if ps[d] <= 0 {
+			return cuts, fmt.Errorf("lattice: non-positive process grid %dx%dx%d", px, py, pz)
+		}
+		if minWidth[d] < 1 {
+			minWidth[d] = 1
+		}
+		if ps[d]*minWidth[d] > dims[d] {
+			return cuts, fmt.Errorf("lattice: dim %d cannot fit %d slabs of width >= %d in %d cells",
+				d, ps[d], minWidth[d], dims[d])
+		}
+	}
+
+	// Marginal cost profile of each axis in one sweep.
+	var marg [3][]float64
+	for d := 0; d < 3; d++ {
+		marg[d] = make([]float64, dims[d])
+	}
+	for z := 0; z < dims[2]; z++ {
+		for y := 0; y < dims[1]; y++ {
+			for x := 0; x < dims[0]; x++ {
+				c := cost(x, y, z)
+				if math.IsNaN(c) || math.IsInf(c, 0) || c < 0 {
+					return cuts, fmt.Errorf("lattice: cost at cell (%d,%d,%d) is %v, want finite >= 0", x, y, z, c)
+				}
+				marg[0][x] += c
+				marg[1][y] += c
+				marg[2][z] += c
+			}
+		}
+	}
+
+	for d := 0; d < 3; d++ {
+		cuts[d] = balancedCuts(marg[d], ps[d], minWidth[d])
+	}
+	return cuts, nil
+}
+
+// balancedCuts splits the n-entry marginal profile m into p slabs of width
+// >= minW whose cumulative costs track the ideal k/p fractions of the total.
+// Each boundary is the feasible index whose prefix cost is closest to the
+// ideal target (ties to the smaller index); zero total cost degenerates to
+// the uniform span split.
+func balancedCuts(m []float64, p, minW int) []int {
+	n := len(m)
+	cuts := make([]int, p+1)
+	cuts[p] = n
+
+	prefix := make([]float64, n+1)
+	for i, v := range m {
+		prefix[i+1] = prefix[i] + v
+	}
+	total := prefix[n]
+	if total == 0 {
+		for i := 0; i < p; i++ {
+			cuts[i], _ = span(n, p, i)
+		}
+		return cuts
+	}
+
+	for k := 1; k < p; k++ {
+		target := total * float64(k) / float64(p)
+		lo := cuts[k-1] + minW // leave room for this slab
+		hi := n - (p-k)*minW   // leave room for the remaining slabs
+		best := lo
+		bestErr := math.Abs(prefix[lo] - target)
+		for b := lo + 1; b <= hi; b++ {
+			e := math.Abs(prefix[b] - target)
+			if e < bestErr {
+				best, bestErr = b, e
+			}
+			if prefix[b] >= target {
+				break // prefix is monotone: error only grows past the target
+			}
+		}
+		cuts[k] = best
+	}
+	return cuts
+}
+
+// ChooseGrid picks a process grid px×py×pz with px*py*pz == ranks whose
+// uniform subdomains are as close to cubic as possible (minimal half-surface
+// area), subject to every dimension's minimum slab width being >= minWidth
+// cells. Ties break to the lexicographically largest (px,py,pz) — the
+// x-major convention of the rest of the codebase — so the choice is
+// deterministic. It is the topology chooser of elastic restart: given a new
+// rank count, it reproduces the decomposition every restarted rank derives
+// independently.
+func ChooseGrid(l *Lattice, ranks, minWidth int) (px, py, pz int, err error) {
+	if ranks <= 0 {
+		return 0, 0, 0, fmt.Errorf("lattice: non-positive rank count %d", ranks)
+	}
+	if minWidth < 1 {
+		minWidth = 1
+	}
+	dims := [3]int{l.Nx, l.Ny, l.Nz}
+	best := [3]int{}
+	bestScore := math.Inf(1)
+	found := false
+	for a := ranks; a >= 1; a-- {
+		if ranks%a != 0 {
+			continue
+		}
+		for b := ranks / a; b >= 1; b-- {
+			if (ranks/a)%b != 0 {
+				continue
+			}
+			c := ranks / a / b
+			p := [3]int{a, b, c}
+			ok := true
+			for d := 0; d < 3; d++ {
+				if dims[d]/p[d] < minWidth {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			// Half-surface area of the (fractional) uniform subdomain.
+			sx := float64(dims[0]) / float64(a)
+			sy := float64(dims[1]) / float64(b)
+			sz := float64(dims[2]) / float64(c)
+			score := sx*sy + sy*sz + sz*sx
+			if !found || score < bestScore {
+				found, best, bestScore = true, p, score
+			}
+		}
+	}
+	if !found {
+		return 0, 0, 0, fmt.Errorf("lattice: no %d-rank grid fits %dx%dx%d cells with min slab width %d",
+			ranks, dims[0], dims[1], dims[2], minWidth)
+	}
+	return best[0], best[1], best[2], nil
+}

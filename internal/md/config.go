@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"mdkmc/internal/eam"
+	"mdkmc/internal/lattice"
 	"mdkmc/internal/units"
 )
 
@@ -53,8 +54,14 @@ type Berendsen struct {
 // Config fully describes an MD run. The zero value is not runnable; use
 // DefaultConfig as a starting point.
 type Config struct {
-	Cells   [3]int // unit cells per dimension of the global box
-	Grid    [3]int // process grid (ranks = product)
+	Cells [3]int // unit cells per dimension of the global box
+	Grid  [3]int // process grid (ranks = product)
+	// Cuts, when a dimension is non-nil, are explicit slab boundaries for
+	// that dimension of the process grid (lattice.NewGridCuts) — the
+	// load-balanced decomposition produced by the repartitioner. Like Grid it
+	// is a topology knob: it changes how work is distributed, not which
+	// trajectory is physical, and is excluded from Hash.
+	Cuts    [3][]int
 	A       float64
 	Species units.Element
 	// CuFraction substitutes the given fraction of lattice atoms with
@@ -152,6 +159,10 @@ func (c *Config) Validate() error {
 // trajectory. Workers and ReferenceKernel are excluded: the force pool
 // (DESIGN.md §9) and the kernel choice (DESIGN.md §13) are documented
 // bit-identical knobs, so a run may legally resume with either changed.
+// Grid and Cuts are likewise excluded (DESIGN.md §14): topology is
+// restart-compatible-but-checked — the manifest records the source topology
+// separately and the re-shard loader handles a mismatch, so changing the
+// rank count or slab boundaries is not a different physical run.
 func (c *Config) Hash() string {
 	pka := "nil"
 	if c.PKA != nil {
@@ -161,8 +172,8 @@ func (c *Config) Hash() string {
 	if c.Thermostat != nil {
 		th = fmt.Sprintf("%+v", *c.Thermostat)
 	}
-	s := fmt.Sprintf("md|cells=%v|grid=%v|a=%v|sp=%d|cu=%v|T=%v|dt=%v|steps=%d|seed=%d|mode=%d|pts=%d|skin=%v|pka=%s|thermo=%s",
-		c.Cells, c.Grid, c.A, c.Species, c.CuFraction, c.Temperature, c.Dt,
+	s := fmt.Sprintf("md|cells=%v|a=%v|sp=%d|cu=%v|T=%v|dt=%v|steps=%d|seed=%d|mode=%d|pts=%d|skin=%v|pka=%s|thermo=%s",
+		c.Cells, c.A, c.Species, c.CuFraction, c.Temperature, c.Dt,
 		c.Steps, c.Seed, c.Mode, c.TablePoints, c.Skin, pka, th)
 	sum := sha256.Sum256([]byte(s))
 	return hex.EncodeToString(sum[:8])
@@ -170,6 +181,22 @@ func (c *Config) Hash() string {
 
 // Ranks returns the number of processes the configuration requires.
 func (c *Config) Ranks() int { return c.Grid[0] * c.Grid[1] * c.Grid[2] }
+
+// GhostWidth returns the minimum subdomain slab width in cells: the ghost
+// reach of the wide neighbor table (cutoff plus the run-away margin). The
+// topology choosers (lattice.ChooseGrid, the repartitioner) use it as the
+// feasibility constraint so a fitted decomposition never produces a slab
+// narrower than its own halo.
+func (c *Config) GhostWidth() int {
+	var pot *eam.Potential
+	if c.Species == units.Cu || c.CuFraction > 0 {
+		pot = eam.NewFeCu(eam.Compacted, eam.TablePoints)
+	} else {
+		pot = eam.NewFe(eam.Compacted, eam.TablePoints)
+	}
+	l := lattice.New(c.Cells[0], c.Cells[1], c.Cells[2], c.A)
+	return l.NeighborOffsets(pot.Cutoff + WideMargin).MaxCellReach()
+}
 
 // NumAtoms returns the initial atom count (2 per BCC cell).
 func (c *Config) NumAtoms() int { return 2 * c.Cells[0] * c.Cells[1] * c.Cells[2] }
