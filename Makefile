@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: check build test vet lint staticcheck govulncheck race recovery cover bench-kmc bench-md bench-json bench-gate smoke smoke-telemetry fuzz-setfl fuzz-manifest figures
+.PHONY: check build test vet lint staticcheck govulncheck race recovery cover bench-kmc bench-md bench-json bench-gate smoke smoke-telemetry smoke-campaign fuzz-setfl fuzz-manifest fuzz-spectrum figures
 
 check: vet lint build race
 
@@ -48,9 +48,12 @@ test:
 # suite then runs under -race as well. Both passes shuffle test and subtest
 # order so latent ordering assumptions surface instead of calcifying (the
 # seed is printed on failure for replay with -shuffle=<seed>).
+# The explicit -timeout lifts the 10m per-package default: internal/couple
+# alone (recovery + elastic + campaign suites) runs well past it under the
+# race detector.
 race:
-	$(GO) test -race -count=1 -shuffle=on ./internal/md ./internal/mpi ./internal/couple ./internal/telemetry
-	$(GO) test -race -shuffle=on ./...
+	$(GO) test -race -count=1 -shuffle=on -timeout 45m ./internal/md ./internal/mpi ./internal/couple ./internal/telemetry
+	$(GO) test -race -shuffle=on -timeout 45m ./...
 
 # The fault-injection recovery gate on its own: crash a coupled run at an
 # armed point, restart from the newest snapshot, demand bit-identical
@@ -105,6 +108,22 @@ smoke-telemetry:
 	$(GO) run ./cmd/benchjson -check /tmp/mdkmc-metrics.jsonl -require md/step,md/force,md/ghost/pos/pack,kmc/cycle,kmc/sector,couple/md-stage,couple/kmc-stage,mpi/msgs-sent,mpi/bytes-sent,mpi/bytes-recv
 	rm -f /tmp/mdkmc-metrics.jsonl
 
+# End-to-end campaign smoke with a crash/restart in the middle: a 2-rank,
+# 2-iteration spectrum-driven campaign is killed mid-iteration by an
+# injected fault, then restarted from its checkpoint and must run to
+# completion. The ! guard asserts the crashing run really failed.
+smoke-campaign:
+	rm -rf /tmp/mdkmc-campaign-ckpt
+	printf '150 3\n300 1\n1000 0.2\n' > /tmp/mdkmc-campaign.spectrum
+	! $(GO) run ./cmd/mdkmc -cells 16 -gx 2 -md-steps 80 -kmc-cycles 10 \
+		-campaign-iters 2 -dose-increment 2e-3 -spectrum /tmp/mdkmc-campaign.spectrum \
+		-checkpoint-dir /tmp/mdkmc-campaign-ckpt -checkpoint-every 30 \
+		-inject-fault md-step:0:110 > /dev/null 2>&1
+	$(GO) run ./cmd/mdkmc -cells 16 -gx 2 -md-steps 80 -kmc-cycles 10 \
+		-campaign-iters 2 -dose-increment 2e-3 -spectrum /tmp/mdkmc-campaign.spectrum \
+		-checkpoint-dir /tmp/mdkmc-campaign-ckpt -checkpoint-every 30 -restart > /dev/null
+	rm -rf /tmp/mdkmc-campaign-ckpt /tmp/mdkmc-campaign.spectrum
+
 # Short fuzz pass over the setfl potential parser (seeds always run in
 # plain `go test`; this explores further).
 fuzz-setfl:
@@ -115,6 +134,12 @@ fuzz-setfl:
 # never panic (seeds start from manifests a real run committed).
 fuzz-manifest:
 	$(GO) test -run '^$$' -fuzz 'FuzzManifest' -fuzztime 30s ./internal/couple
+
+# Short fuzz pass over the PKA spectrum parser: arbitrary input must parse
+# or error, never panic, and accepted spectra must sample within their own
+# entry set.
+fuzz-spectrum:
+	$(GO) test -run '^$$' -fuzz 'FuzzSpectrum' -fuzztime 30s ./internal/couple
 
 figures:
 	$(GO) run ./cmd/figures

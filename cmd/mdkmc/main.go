@@ -28,6 +28,12 @@ func main() {
 		temp    = flag.Float64("temp", 300, "temperature in K")
 		seed    = flag.Uint64("seed", 1, "random seed")
 
+		campaignIters = flag.Int("campaign-iters", 0, "damage-accumulation campaign iterations (0 = single-cascade pipeline)")
+		doseIncrement = flag.Float64("dose-increment", 1e-3, "NRT dose per campaign iteration in dpa")
+		spectrumPath  = flag.String("spectrum", "", "PKA spectrum file (\"energy_eV [weight]\" lines); empty = fixed -pka energy")
+		recoilSep     = flag.Float64("recoil-sep", 0, "minimum separation between one iteration's recoils in Å (0 = 2.5 lattice constants)")
+		campaignOKMC  = flag.Bool("campaign-okmc", false, "anneal the campaign's defect population with object KMC instead of atomistic KMC")
+
 		ckptDir      = flag.String("checkpoint-dir", "", "snapshot directory (empty = no checkpointing)")
 		ckptEvery    = flag.Int("checkpoint-every", 50, "snapshot cadence in MD steps / KMC cycles")
 		ckptKeep     = flag.Int("checkpoint-keep", 0, "committed snapshots to retain (0 = default)")
@@ -83,7 +89,7 @@ func main() {
 		mcfg.Grid = g
 	}
 
-	res, err := mdkmc.RunCoupled(mdkmc.CoupledConfig{
+	cfg := mdkmc.CoupledConfig{
 		MD:        mcfg,
 		KMCCycles: *cycles,
 		Protocol:  mdkmc.ProtocolOnDemand,
@@ -96,7 +102,50 @@ func main() {
 		Rebalance: mdkmc.Rebalance{Handoff: *rebalEvery > 0, Every: *rebalEvery},
 		Faults:    faults,
 		Telemetry: tel,
-	})
+	}
+
+	if *campaignIters > 0 {
+		// Campaign mode: the driver injects the recoils itself, drawing
+		// energies from the spectrum (or the fixed -pka energy).
+		cfg.MD.PKA = nil
+		var spectrum *mdkmc.Spectrum
+		if *spectrumPath != "" {
+			var err error
+			if spectrum, err = mdkmc.LoadSpectrum(*spectrumPath); err != nil {
+				log.Fatal(err)
+			}
+		}
+		cfg.Campaign = mdkmc.CampaignSpec{
+			Iters:         *campaignIters,
+			DoseIncrement: *doseIncrement,
+			Energy:        *pka,
+			Spectrum:      spectrum,
+			MinSeparation: *recoilSep,
+			OKMC:          *campaignOKMC,
+		}
+		res, err := mdkmc.RunCampaign(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(res)
+		fmt.Printf("\n%6s %8s %8s %12s %12s %8s %10s\n",
+			"iter", "recoils", "skipped", "dose (dpa)", "new vacs", "pop", "events")
+		for _, row := range res.Ledger {
+			fmt.Printf("%6d %8d %8d %12.4g %12d %8d %10d\n",
+				row.Iter, row.Recoils, row.Skipped, row.Dose, row.NewVacancies, row.Population, row.Events)
+		}
+		if res.Telemetry != nil {
+			fmt.Println()
+			fmt.Print(res.Telemetry)
+		}
+		if len(res.Population) > 0 {
+			fmt.Println("\nfinal defect population:")
+			fmt.Print(mdkmc.RenderVacancies(mcfg.Cells, mcfg.A, res.Population, 60, 22))
+		}
+		return
+	}
+
+	res, err := mdkmc.RunCoupled(cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,7 +56,9 @@ func main() {
 			// Strike a random site with a random direction.
 			site := l.Coord(src.Intn(l.NumSites()))
 			dir := vec.V{X: src.Norm(), Y: src.Norm(), Z: src.Norm()}
-			rank.ApplyRecoil(site, recoilEnergy, dir)
+			if _, err := rank.ApplyRecoil(site, recoilEnergy, dir); err != nil {
+				log.Fatal(err)
+			}
 			for i := 0; i < stepsPerHit; i++ {
 				rank.Step()
 			}

@@ -35,6 +35,14 @@ type (
 	CoupledConfig = couple.Config
 	// CoupledResult is the full-pipeline result.
 	CoupledResult = couple.Result
+	// CampaignSpec configures the high-dose damage-accumulation campaign
+	// driver (CoupledConfig.Campaign; see RunCampaign).
+	CampaignSpec = couple.CampaignSpec
+	// CampaignResult is the campaign-mode result: dose ledger, final defect
+	// population, clustering analysis.
+	CampaignResult = couple.CampaignResult
+	// Spectrum is a discrete PKA recoil-energy distribution (LoadSpectrum).
+	Spectrum = couple.Spectrum
 	// ClusterAnalysis summarizes vacancy clustering.
 	ClusterAnalysis = cluster.Analysis
 	// CommStats counts messages and bytes exchanged.
@@ -430,6 +438,17 @@ func ChooseGrid(cells [3]int, ranks, minWidth int) ([3]int, error) {
 
 // RunCoupled executes the full MD→KMC pipeline (paper §2).
 func RunCoupled(cfg CoupledConfig) (*CoupledResult, error) { return couple.Run(cfg) }
+
+// RunCampaign executes a high-dose damage-accumulation campaign: repeated
+// spectrum-drawn multi-recoil cascades, each advancing the dose by a fixed
+// NRT-dpa increment, with the accumulated defect population handed to the
+// coarse KMC/OKMC stage every iteration. Enabled by cfg.Campaign.Iters > 0;
+// restartable end-to-end through cfg.Checkpoint.
+func RunCampaign(cfg CoupledConfig) (*CampaignResult, error) { return couple.RunCampaign(cfg) }
+
+// LoadSpectrum reads a PKA recoil-energy spectrum file: one "energy_eV
+// [weight]" pair per line, '#' comments.
+func LoadSpectrum(path string) (*Spectrum, error) { return couple.LoadSpectrum(path) }
 
 // TemporalScaleDays evaluates the paper's temporal-scale formula
 // t_real = t_threshold·C_MC/C_real in days (19.2 for the headline run).

@@ -53,18 +53,23 @@ type Checkpoint struct {
 
 // Stage names recorded in manifests.
 const (
-	StageMD  = "md"
-	StageKMC = "kmc"
+	StageMD       = "md"
+	StageKMC      = "kmc"
+	StageCampaign = "campaign"
 )
 
 // Version history: 1 carried (Seq, Stage, Step, Ranks, ConfigHash, MD);
 // 2 adds the source topology (Grid, Cuts) so a snapshot can be re-sharded
-// onto a different rank count or slab layout at restart (DESIGN.md §14).
+// onto a different rank count or slab layout at restart (DESIGN.md §14);
+// 3 adds the campaign block — iteration count, dose ledger, spectrum-RNG
+// cursor, defect population — for dose-accumulation campaigns (DESIGN.md
+// §15). Readers accept 2 and 3, so pre-campaign snapshots stay loadable.
 const (
-	manifestVersion = 2
-	manifestName    = "manifest.json"
-	tmpDirName      = ".tmp-ckpt"
-	defaultKeep     = 2
+	manifestVersion    = 3
+	minManifestVersion = 2
+	manifestName       = "manifest.json"
+	tmpDirName         = ".tmp-ckpt"
+	defaultKeep        = 2
 )
 
 // MDSummary carries the MD stage's contribution to the coupled result
@@ -102,7 +107,8 @@ type Manifest struct {
 	Ranks      int
 	Topology   Topology // decomposition that wrote the rank files
 	ConfigHash string
-	MD         *MDSummary `json:",omitempty"` // present on KMC-stage coupled snapshots
+	MD         *MDSummary     `json:",omitempty"` // present on KMC-stage coupled snapshots
+	Campaign   *CampaignState `json:",omitempty"` // present on campaign-stage snapshots
 
 	dir string // committed directory, set when loaded
 }
@@ -171,10 +177,21 @@ func loadManifest(dir string) (*Manifest, error) {
 	if err := json.Unmarshal(data, &man); err != nil {
 		return nil, fmt.Errorf("couple: decoding manifest: %w", err)
 	}
-	if man.Version != manifestVersion {
-		return nil, fmt.Errorf("couple: manifest version %d, want %d", man.Version, manifestVersion)
+	if man.Version < minManifestVersion || man.Version > manifestVersion {
+		return nil, fmt.Errorf("couple: manifest version %d, want %d..%d",
+			man.Version, minManifestVersion, manifestVersion)
 	}
-	if man.Stage != StageMD && man.Stage != StageKMC {
+	switch man.Stage {
+	case StageMD, StageKMC:
+	case StageCampaign:
+		camp := man.Campaign
+		if camp == nil {
+			return nil, fmt.Errorf("couple: campaign manifest has no campaign block")
+		}
+		if camp.Iter < 0 || camp.Dose < 0 || camp.Recoils < 0 || camp.Skipped < 0 {
+			return nil, fmt.Errorf("couple: campaign block has negative counters: %+v", camp)
+		}
+	default:
 		return nil, fmt.Errorf("couple: manifest has unknown stage %q", man.Stage)
 	}
 	if man.Ranks <= 0 {
@@ -267,6 +284,18 @@ func (co *Coordinator) Due(step int) bool {
 // rank files were sliced by — and commits with an atomic rename. It must be
 // entered by all ranks with identical (stage, step, topo).
 func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, topo Topology, md *MDSummary, save func(io.Writer) error) error {
+	return co.snapshot(c, stage, step, topo, md, nil, save)
+}
+
+// SnapshotCampaign writes a campaign-stage snapshot: the rank files carry the
+// MD rank state (the only distributed state a campaign resumes from; the KMC
+// hand-off is recomputed deterministically), the manifest carries the
+// campaign ledger. Collective with the same contract as Snapshot.
+func (co *Coordinator) SnapshotCampaign(c *mpi.Comm, step int, topo Topology, camp *CampaignState, save func(io.Writer) error) error {
+	return co.snapshot(c, StageCampaign, step, topo, nil, camp, save)
+}
+
+func (co *Coordinator) snapshot(c *mpi.Comm, stage string, step int, topo Topology, md *MDSummary, camp *CampaignState, save func(io.Writer) error) error {
 	reg := co.set.Rank(c.Rank())
 	snap := reg.Timer("couple/checkpoint").Begin()
 	defer snap.End()
@@ -304,6 +333,7 @@ func (co *Coordinator) Snapshot(c *mpi.Comm, stage string, step int, topo Topolo
 			Topology:   topo,
 			ConfigHash: co.hash,
 			MD:         md,
+			Campaign:   camp,
 		}
 		data, err := json.MarshalIndent(&man, "", "  ")
 		if err != nil {

@@ -150,8 +150,8 @@ func TestApplyRecoil(t *testing.T) {
 	cfg.Temperature = 0
 	runWorld(t, cfg, func(r *Rank) {
 		site := lattice.Coord{X: 2, Y: 2, Z: 2, B: 0}
-		if !r.ApplyRecoil(site, 100, vec.V{X: 1}) {
-			t.Fatalf("recoil not applied to owned site")
+		if ok, err := r.ApplyRecoil(site, 100, vec.V{X: 1}); err != nil || !ok {
+			t.Fatalf("recoil not applied to owned site: ok=%v err=%v", ok, err)
 		}
 		local := r.Box.LocalIndex(site)
 		ke := 0.5 * r.Store.Type[local].Mass() * r.Store.Vel[local].Norm2()
@@ -159,9 +159,86 @@ func TestApplyRecoil(t *testing.T) {
 			t.Errorf("recoil kinetic energy %v, want 100 eV", ke)
 		}
 		// Wrapped out-of-box coordinates are accepted.
-		if !r.ApplyRecoil(lattice.Coord{X: int32(cfg.Cells[0] + 2), Y: 2, Z: 2}, 10, vec.V{X: 1}) {
-			t.Errorf("wrapped recoil rejected")
+		if ok, err := r.ApplyRecoil(lattice.Coord{X: int32(cfg.Cells[0] + 2), Y: 2, Z: 2}, 10, vec.V{X: 1}); err != nil || !ok {
+			t.Errorf("wrapped recoil rejected: ok=%v err=%v", ok, err)
 		}
+	})
+}
+
+// TestApplyRecoilRejectsInvalidArguments: a zero or non-finite direction
+// used to be silently replaced (or worse, normalized into NaN velocities),
+// and a non-positive energy put NaN into the recoil speed. Both must now be
+// descriptive errors, with the target atom's velocity untouched.
+func TestApplyRecoilRejectsInvalidArguments(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 0
+	runWorld(t, cfg, func(r *Rank) {
+		site := lattice.Coord{X: 2, Y: 2, Z: 2, B: 0}
+		local := r.Box.LocalIndex(site)
+		before := r.Store.Vel[local]
+		cases := []struct {
+			name   string
+			energy float64
+			dir    vec.V
+		}{
+			{"zero direction", 100, vec.V{}},
+			{"NaN direction", 100, vec.V{X: math.NaN()}},
+			{"Inf direction", 100, vec.V{Y: math.Inf(1)}},
+			{"zero energy", 0, vec.V{X: 1}},
+			{"negative energy", -5, vec.V{X: 1}},
+			{"NaN energy", math.NaN(), vec.V{X: 1}},
+			{"Inf energy", math.Inf(1), vec.V{X: 1}},
+		}
+		for _, tc := range cases {
+			ok, err := r.ApplyRecoil(site, tc.energy, tc.dir)
+			if err == nil || ok {
+				t.Errorf("%s: ApplyRecoil = (%v, %v), want a descriptive error", tc.name, ok, err)
+			}
+		}
+		if r.Store.Vel[local] != before {
+			t.Errorf("rejected recoils perturbed the velocity: %v -> %v", before, r.Store.Vel[local])
+		}
+		// A valid recoil after the rejections still works and stays finite.
+		if ok, err := r.ApplyRecoil(site, 50, vec.V{X: 1, Y: 1}); err != nil || !ok {
+			t.Fatalf("valid recoil after rejections: ok=%v err=%v", ok, err)
+		}
+		v := r.Store.Vel[local]
+		for _, comp := range []float64{v.X, v.Y, v.Z} {
+			if math.IsNaN(comp) || math.IsInf(comp, 0) {
+				t.Fatalf("recoil velocity not finite: %v", v)
+			}
+		}
+	})
+}
+
+// FuzzApplyRecoil drives ApplyRecoil with arbitrary energies and directions
+// on a tiny crystal: any call must either return an error or leave the
+// target velocity finite — never NaN/Inf in the store.
+func FuzzApplyRecoil(f *testing.F) {
+	f.Add(100.0, 1.0, 0.35, 0.2)
+	f.Add(0.0, 0.0, 0.0, 0.0)
+	f.Add(-3.5, math.NaN(), 0.0, 1.0)
+	f.Add(math.Inf(1), 0.0, math.Inf(-1), 0.0)
+	f.Add(1e-300, 1e-300, 0.0, 0.0)
+	cfg := smallConfig()
+	cfg.Temperature = 0
+	cfg.Steps = 0
+	f.Fuzz(func(t *testing.T, energy, dx, dy, dz float64) {
+		runWorld(t, cfg, func(r *Rank) {
+			site := lattice.Coord{X: 2, Y: 2, Z: 2, B: 0}
+			local := r.Box.LocalIndex(site)
+			ok, err := r.ApplyRecoil(site, energy, vec.V{X: dx, Y: dy, Z: dz})
+			if err != nil && ok {
+				t.Fatalf("applied despite error %v", err)
+			}
+			v := r.Store.Vel[local]
+			for _, comp := range []float64{v.X, v.Y, v.Z} {
+				if math.IsNaN(comp) || math.IsInf(comp, 0) {
+					t.Fatalf("energy=%v dir=(%v,%v,%v): non-finite velocity %v (err=%v)",
+						energy, dx, dy, dz, v, err)
+				}
+			}
+		})
 	})
 }
 

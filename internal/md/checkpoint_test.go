@@ -195,3 +195,64 @@ func TestCheckpointResumeIdenticalParallel(t *testing.T) {
 		}
 	}
 }
+
+// TestRestoreDoesNotReinjectPKA (the restart-after-injection audit): NewRank
+// applies cfg.PKA before any Restore, so a restarted run has injected the
+// recoil a second time by the time the snapshot loads. Restore must fully
+// overwrite the velocities — the recoil's kinetic energy appears in the
+// resumed trajectory exactly once, never stacked.
+func TestRestoreDoesNotReinjectPKA(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Temperature = 0
+	cfg.Dt = 2e-4
+	cfg.PKA = &PKA{Energy: 120}
+
+	// Reference: 20 uninterrupted steps.
+	var straightKE, straightPE float64
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 20; i++ {
+			r.Step()
+		}
+		straightKE, straightPE = r.TotalEnergy()
+	})
+
+	// Save mid-cascade at step 10.
+	var blob bytes.Buffer
+	var keAtSave float64
+	runWorld(t, cfg, func(r *Rank) {
+		for i := 0; i < 10; i++ {
+			r.Step()
+		}
+		keAtSave, _ = r.TotalEnergy()
+		if err := r.Save(&blob); err != nil {
+			t.Errorf("save: %v", err)
+		}
+	})
+
+	// Restart: the fresh rank has the PKA injected again; Restore erases it.
+	runWorld(t, cfg, func(r *Rank) {
+		if err := r.Restore(bytes.NewReader(blob.Bytes())); err != nil {
+			t.Errorf("restore: %v", err)
+			return
+		}
+		if ke, _ := r.TotalEnergy(); ke != keAtSave {
+			t.Errorf("kinetic energy after restore %v eV, want %v — the construction-time PKA leaked into the restored state",
+				ke, keAtSave)
+		}
+		for i := 0; i < 20-10; i++ {
+			r.Step()
+		}
+		ke, pe := r.TotalEnergy()
+		if ke != straightKE || pe != straightPE {
+			t.Errorf("resumed energies (%v, %v), uninterrupted run had (%v, %v)",
+				ke, pe, straightKE, straightPE)
+		}
+	})
+
+	// Sanity: at T = 0 the cascade's entire kinetic energy is the recoil's.
+	var ke0 float64
+	runWorld(t, cfg, func(r *Rank) { ke0, _ = r.TotalEnergy() })
+	if d := ke0 - 120; d > 1e-9 || d < -1e-9 {
+		t.Errorf("kinetic energy at construction %v eV, want the 120 eV recoil", ke0)
+	}
+}

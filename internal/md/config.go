@@ -10,6 +10,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"math"
 
 	"mdkmc/internal/eam"
 	"mdkmc/internal/lattice"
@@ -40,8 +41,8 @@ const (
 // PKA configures the primary knock-on atom that starts a cascade: the
 // simulated equivalent of the irradiation event (DESIGN.md §2).
 type PKA struct {
-	Energy    float64    // recoil energy in eV
-	Direction [3]float64 // initial direction (normalized internally)
+	Energy    float64    // recoil energy in eV (must be positive and finite)
+	Direction [3]float64 // initial direction (normalized internally; zero = DefaultPKADirection)
 }
 
 // Berendsen configures the optional velocity-rescaling thermostat used
@@ -149,6 +150,16 @@ func (c *Config) Validate() error {
 	}
 	if c.CuFraction > 0 && c.Species != units.Fe {
 		return fmt.Errorf("md: copper substitution requires an iron host")
+	}
+	if p := c.PKA; p != nil {
+		if p.Energy <= 0 || math.IsInf(p.Energy, 0) || math.IsNaN(p.Energy) {
+			return fmt.Errorf("md: PKA energy %v is not positive and finite", p.Energy)
+		}
+		for _, v := range p.Direction {
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return fmt.Errorf("md: PKA direction %v is not finite", p.Direction)
+			}
+		}
 	}
 	return nil
 }

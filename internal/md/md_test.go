@@ -466,8 +466,8 @@ func TestBoundaryCrossingCascadeSerial(t *testing.T) {
 	cfg.Dt = 2e-4
 	runWorld(t, cfg, func(r *Rank) {
 		edge := lattice.Coord{X: 0, Y: 0, Z: 0, B: 0}
-		if !r.ApplyRecoil(edge, 150, vec.V{X: -1, Y: -0.3, Z: -0.2}) {
-			t.Fatal("recoil not applied")
+		if ok, err := r.ApplyRecoil(edge, 150, vec.V{X: -1, Y: -0.3, Z: -0.2}); err != nil || !ok {
+			t.Fatalf("recoil not applied: ok=%v err=%v", ok, err)
 		}
 		for i := 0; i < 200; i++ {
 			r.Step()
@@ -487,7 +487,9 @@ func TestBoundaryCrossingCascadeParallel(t *testing.T) {
 	runWorld(t, cfg, func(r *Rank) {
 		// Strike near the rank boundary pointing across it, and near the
 		// periodic y-boundary pointing out.
-		r.ApplyRecoil(lattice.Coord{X: 3, Y: 0, Z: 3, B: 0}, 150, vec.V{X: 1, Y: -0.7, Z: 0.1})
+		if _, err := r.ApplyRecoil(lattice.Coord{X: 3, Y: 0, Z: 3, B: 0}, 150, vec.V{X: 1, Y: -0.7, Z: 0.1}); err != nil {
+			t.Fatal(err)
+		}
 		for i := 0; i < 200; i++ {
 			r.Step()
 			if got := r.GlobalAtomCount(); got != cfg.NumAtoms() {

@@ -127,7 +127,9 @@ func NewRank(cfg Config, comm *mpi.Comm) (*Rank, error) {
 	}
 	r.initVelocities()
 	if cfg.PKA != nil {
-		r.applyPKA(*cfg.PKA)
+		if err := r.applyPKA(*cfg.PKA); err != nil {
+			return nil, err
+		}
 	}
 	r.computeForces()
 	return r, nil
@@ -152,24 +154,33 @@ func (r *Rank) substituteCopper(fraction float64) {
 // ApplyRecoil gives the atom resident at the (wrapped) site the given
 // recoil energy — the building block of multi-cascade irradiation
 // campaigns. It is collective only in the sense that every rank may call it
-// with the same arguments; the rank owning the site applies it. Forces must
-// be refreshed by the next Step.
-func (r *Rank) ApplyRecoil(site lattice.Coord, energy float64, dir vec.V) bool {
+// with the same arguments; exactly the rank owning the site applies it and
+// reports applied=true (false when the site is currently a vacancy, so the
+// caller can account for skipped recoils). The energy must be positive and
+// finite and the direction a finite non-zero vector: a zero direction has
+// no normalization (the old silent fallback hid NaN velocities from typos),
+// and a non-positive energy would put NaN into the speed. Forces must be
+// refreshed by the next Step.
+func (r *Rank) ApplyRecoil(site lattice.Coord, energy float64, dir vec.V) (applied bool, err error) {
+	if energy <= 0 || math.IsInf(energy, 0) || math.IsNaN(energy) {
+		return false, fmt.Errorf("md: recoil energy %v is not positive and finite", energy)
+	}
+	n2 := dir.Norm2()
+	if n2 == 0 || math.IsInf(n2, 0) || math.IsNaN(n2) {
+		return false, fmt.Errorf("md: recoil direction %v is not a finite non-zero vector", dir)
+	}
 	site = r.L.Wrap(site)
 	if !r.Box.Owns(site) {
-		return false
+		return false, nil
 	}
 	local := r.Box.LocalIndex(site)
 	if r.Store.IsVacancy(local) {
-		return false
-	}
-	if dir.Norm2() == 0 {
-		dir = vec.V{X: 1, Y: 0.35, Z: 0.2}
+		return false, nil
 	}
 	dir = dir.Scale(1 / dir.Norm())
 	speed := math.Sqrt(2 * energy / r.Store.Type[local].Mass())
 	r.Store.Vel[local] = r.Store.Vel[local].Add(dir.Scale(speed))
-	return true
+	return true, nil
 }
 
 // initVelocities draws Maxwell-Boltzmann velocities. Each atom's stream is
@@ -199,17 +210,27 @@ func (r *Rank) initVelocities() {
 	})
 }
 
+// DefaultPKADirection is the recoil direction used when a PKA config leaves
+// Direction zero: slightly off the <100> channel so the cascade branches.
+var DefaultPKADirection = [3]float64{1, 0.35, 0.2}
+
 // applyPKA gives the atom nearest the box center the recoil energy of the
-// primary knock-on atom — the cascade's starting condition.
-func (r *Rank) applyPKA(p PKA) {
+// primary knock-on atom — the cascade's starting condition. A zero
+// Direction selects DefaultPKADirection (the documented config default);
+// Config.Validate has already rejected non-finite or non-positive PKAs.
+func (r *Rank) applyPKA(p PKA) error {
 	center := lattice.Coord{
 		X: int32(r.Cfg.Cells[0] / 2),
 		Y: int32(r.Cfg.Cells[1] / 2),
 		Z: int32(r.Cfg.Cells[2] / 2),
 		B: 0,
 	}
-	r.ApplyRecoil(center, p.Energy,
-		vec.V{X: p.Direction[0], Y: p.Direction[1], Z: p.Direction[2]})
+	d := p.Direction
+	if d[0] == 0 && d[1] == 0 && d[2] == 0 {
+		d = DefaultPKADirection
+	}
+	_, err := r.ApplyRecoil(center, p.Energy, vec.V{X: d[0], Y: d[1], Z: d[2]})
+	return err
 }
 
 // AttachCPEKernel replaces the plain force computation with the Sunway

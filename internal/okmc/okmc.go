@@ -122,6 +122,64 @@ func New(cfg Config, monomers []vec.V) (*Sim, error) {
 	return s, nil
 }
 
+// Resume rebuilds a simulation from a previously recorded population — the
+// campaign driver's checkpoint path. The objects are adopted verbatim
+// (positions wrapped defensively), the clock and event counter restored, and
+// nextID set past the largest recorded ID so later emissions never collide.
+// The RNG stream is NOT part of the record: campaign restarts are made
+// deterministic by ReseedStream'ing a per-iteration stream before stepping.
+func Resume(cfg Config, objects []Object, time float64, events int) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if time < 0 || events < 0 {
+		return nil, fmt.Errorf("okmc: negative clock %v or event count %d", time, events)
+	}
+	s := &Sim{
+		Cfg:    cfg,
+		L:      lattice.New(cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], cfg.A),
+		kBT:    units.Boltzmann * cfg.Temperature,
+		rng:    rng.New(cfg.Seed).Derive(0x0BC),
+		Time:   time,
+		Events: events,
+	}
+	s.hop = s.L.FirstNeighborDistance()
+	for _, o := range objects {
+		if o.Size <= 0 {
+			return nil, fmt.Errorf("okmc: recorded object %d has size %d", o.ID, o.Size)
+		}
+		o.Pos = s.wrap(o.Pos)
+		s.Objects = append(s.Objects, o)
+		if o.ID >= s.nextID {
+			s.nextID = o.ID + 1
+		}
+	}
+	return s, nil
+}
+
+// ReseedStream rebases the simulation's RNG onto a stream derived from the
+// config seed and the given logical coordinates (e.g. a campaign iteration
+// index). A resumed campaign reseeds before each iteration's anneal, so the
+// continued trajectory is a pure function of (seed, iteration, population)
+// and never of how many draws an interrupted run had consumed.
+func (s *Sim) ReseedStream(words ...uint64) {
+	s.rng = rng.New(s.Cfg.Seed).Derive(append([]uint64{0x0BC}, words...)...)
+}
+
+// Inject adds one monomer per position (the new MD-generated vacancies of a
+// campaign iteration) and applies capture exhaustively, so monomers landing
+// inside an existing cluster's reach are absorbed immediately. It returns
+// the number of vacancies added (always len(points); absorption conserves
+// the vacancy count).
+func (s *Sim) Inject(points []vec.V) int {
+	for _, p := range points {
+		s.Objects = append(s.Objects, Object{ID: s.nextID, Pos: s.wrap(p), Size: 1})
+		s.nextID++
+		s.coalesceAround(len(s.Objects) - 1)
+	}
+	return len(points)
+}
+
 // NewRandom seeds n monomers at deterministic random lattice sites.
 func NewRandom(cfg Config, n int) (*Sim, error) {
 	l := lattice.New(cfg.Cells[0], cfg.Cells[1], cfg.Cells[2], cfg.A)

@@ -190,3 +190,100 @@ func TestEmptySimulation(t *testing.T) {
 		t.Errorf("empty stats non-zero")
 	}
 }
+
+// TestInjectConservesAndAbsorbs: injected monomers either stand alone or are
+// absorbed by an in-range cluster; the vacancy count grows by exactly the
+// injected count either way.
+func TestInjectConservesAndAbsorbs(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(cfg, []vec.V{{X: 10, Y: 10, Z: 10}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := s.Inject([]vec.V{
+		{X: 10.5, Y: 10, Z: 10}, // inside capture range: absorbed
+		{X: 20, Y: 20, Z: 20},   // far: stands alone
+		{X: -1, Y: 5, Z: 5},     // out of box: wrapped, stands alone
+	}); n != 3 {
+		t.Fatalf("Inject reported %d, want 3", n)
+	}
+	if tot := s.TotalVacancies(); tot != 4 {
+		t.Errorf("total vacancies %d, want 4", tot)
+	}
+	if len(s.Objects) != 3 {
+		t.Errorf("%d objects, want 3 (one absorption)", len(s.Objects))
+	}
+	for _, o := range s.Objects {
+		w := s.wrap(o.Pos)
+		if w != o.Pos {
+			t.Errorf("object %d position %v not wrapped", o.ID, o.Pos)
+		}
+	}
+}
+
+// TestResumeContinuesIdentically: Resume + ReseedStream reproduces the
+// trajectory of an uninterrupted run that reseeded at the same point — the
+// campaign restart contract.
+func TestResumeContinuesIdentically(t *testing.T) {
+	cfg := DefaultConfig()
+	seeds := []vec.V{{X: 3, Y: 3, Z: 3}, {X: 17, Y: 5, Z: 9}, {X: 9, Y: 20, Z: 14}, {X: 25, Y: 25, Z: 2}}
+
+	run := func(resume bool) *Sim {
+		s, err := New(cfg, seeds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.ReseedStream(1)
+		for i := 0; i < 40; i++ {
+			s.Step()
+		}
+		if resume {
+			r, err := Resume(cfg, append([]Object(nil), s.Objects...), s.Time, s.Events)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s = r
+		}
+		s.ReseedStream(2)
+		for i := 0; i < 40; i++ {
+			s.Step()
+		}
+		return s
+	}
+
+	a, b := run(false), run(true)
+	if a.Time != b.Time || a.Events != b.Events {
+		t.Fatalf("clock diverged: (%v, %d) vs (%v, %d)", a.Time, a.Events, b.Time, b.Events)
+	}
+	if len(a.Objects) != len(b.Objects) {
+		t.Fatalf("object counts %d vs %d", len(a.Objects), len(b.Objects))
+	}
+	for i := range a.Objects {
+		if a.Objects[i] != b.Objects[i] {
+			t.Fatalf("object %d diverged: %+v vs %+v", i, a.Objects[i], b.Objects[i])
+		}
+	}
+}
+
+// TestResumeValidates: corrupt records are refused, and nextID continues
+// past the largest resumed ID.
+func TestResumeValidates(t *testing.T) {
+	cfg := DefaultConfig()
+	if _, err := Resume(cfg, []Object{{ID: 0, Size: 0}}, 0, 0); err == nil {
+		t.Error("zero-size object accepted")
+	}
+	if _, err := Resume(cfg, nil, -1, 0); err == nil {
+		t.Error("negative clock accepted")
+	}
+	if _, err := Resume(cfg, nil, 0, -1); err == nil {
+		t.Error("negative event count accepted")
+	}
+	s, err := Resume(cfg, []Object{{ID: 7, Pos: vec.V{X: 1, Y: 1, Z: 1}, Size: 2}}, 1e-3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Inject([]vec.V{{X: 20, Y: 20, Z: 20}})
+	if got := s.Objects[len(s.Objects)-1].ID; got != 8 {
+		t.Errorf("next ID %d, want 8 (past the resumed 7)", got)
+	}
+}

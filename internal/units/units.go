@@ -94,6 +94,12 @@ const VacancyMigrationEnergyFe = 0.65
 // k = ν exp(-ΔE/kBT), in 1/s.
 const AttemptFrequency = 1e13
 
+// DisplacementThresholdFe is the threshold displacement energy E_d of BCC
+// iron in eV (the ASTM E521 standard value), used by the NRT-dpa dose model
+// of the cascade campaign driver: ν(E) = 0.8·E/(2·E_d) displacements per
+// recoil of damage energy E.
+const DisplacementThresholdFe = 40.0
+
 // KineticTemperature returns the instantaneous temperature of a system with
 // the given total kinetic energy (eV) and number of atoms, via
 // T = 2*KE / (3*N*kB).
