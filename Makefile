@@ -10,7 +10,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2023.1.7
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: check build test vet lint staticcheck govulncheck race recovery cover bench-kmc bench-md bench-json bench-gate smoke smoke-telemetry smoke-campaign fuzz-setfl fuzz-manifest fuzz-spectrum figures
+.PHONY: check build test vet lint staticcheck govulncheck race recovery cover bench-kmc bench-md bench-json bench-gate smoke smoke-telemetry smoke-campaign smoke-serve fuzz-setfl fuzz-manifest fuzz-spectrum figures
 
 check: vet lint build race
 
@@ -123,6 +123,15 @@ smoke-campaign:
 		-campaign-iters 2 -dose-increment 2e-3 -spectrum /tmp/mdkmc-campaign.spectrum \
 		-checkpoint-dir /tmp/mdkmc-campaign-ckpt -checkpoint-every 30 -restart > /dev/null
 	rm -rf /tmp/mdkmc-campaign-ckpt /tmp/mdkmc-campaign.spectrum
+
+# End-to-end job-server smoke (DESIGN.md §16): start the real mdserve
+# binary, submit a campaign, preempt it with a high-priority MD job, watch
+# it resume and finish with an exactly-conserved dose ledger, SIGTERM-drain
+# the server, restart on the same state dir, and demand the recovered
+# campaign completes. -count=1 because a cached "ok" proves nothing about
+# a server that forks processes and binds ports.
+smoke-serve:
+	$(GO) test -count=1 -run TestServeSmoke -v ./cmd/mdserve
 
 # Short fuzz pass over the setfl potential parser (seeds always run in
 # plain `go test`; this explores further).

@@ -8,12 +8,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"mdkmc"
+	"mdkmc/internal/cliutil"
 )
 
 func main() {
@@ -86,7 +88,16 @@ func main() {
 		Every:   *ckptEvery,
 		Keep:    *ckptKeep,
 		Restart: *restart,
-	}, mdkmc.WithFaults(faults...), mdkmc.WithTelemetry(tel))
+	}, mdkmc.WithFaults(faults...), mdkmc.WithTelemetry(tel),
+		mdkmc.WithPreemption(cliutil.PreemptOnSignal("kmcsim")))
+	if errors.Is(err, mdkmc.ErrPreempted) {
+		if *ckptDir != "" {
+			fmt.Printf("kmcsim: interrupted — checkpoint committed in %s; resume with -restart\n", *ckptDir)
+		} else {
+			fmt.Println("kmcsim: interrupted (no -checkpoint-dir, progress discarded)")
+		}
+		return
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

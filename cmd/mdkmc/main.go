@@ -8,11 +8,13 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 
 	"mdkmc"
+	"mdkmc/internal/cliutil"
 )
 
 func main() {
@@ -102,6 +104,14 @@ func main() {
 		Rebalance: mdkmc.Rebalance{Handoff: *rebalEvery > 0, Every: *rebalEvery},
 		Faults:    faults,
 		Telemetry: tel,
+		Preempt:   cliutil.PreemptOnSignal("mdkmc"),
+	}
+	interrupted := func() {
+		if *ckptDir != "" {
+			fmt.Printf("mdkmc: interrupted — checkpoint committed in %s; resume with -restart\n", *ckptDir)
+		} else {
+			fmt.Println("mdkmc: interrupted (no -checkpoint-dir, progress discarded)")
+		}
 	}
 
 	if *campaignIters > 0 {
@@ -124,6 +134,10 @@ func main() {
 			OKMC:          *campaignOKMC,
 		}
 		res, err := mdkmc.RunCampaign(cfg)
+		if errors.Is(err, mdkmc.ErrPreempted) {
+			interrupted()
+			return
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -146,6 +160,10 @@ func main() {
 	}
 
 	res, err := mdkmc.RunCoupled(cfg)
+	if errors.Is(err, mdkmc.ErrPreempted) {
+		interrupted()
+		return
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"mdkmc/internal/serve"
+)
+
+// buildServer compiles the mdserve binary once per test binary.
+func buildServer(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "mdserve")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		t.Fatalf("building mdserve: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// serverProc is one running mdserve process under test. done is closed when
+// the process exits (safe for any number of waiters); waitErr then holds the
+// cmd.Wait result.
+type serverProc struct {
+	cmd     *exec.Cmd
+	base    string // http://addr
+	done    chan struct{}
+	waitErr error
+}
+
+// waitExit blocks until the process exits or the timeout passes.
+func (p *serverProc) waitExit(t *testing.T, timeout time.Duration, what string) error {
+	t.Helper()
+	select {
+	case <-p.done:
+		return p.waitErr
+	case <-time.After(timeout):
+		t.Fatalf("server did not exit after %s", what)
+		return nil
+	}
+}
+
+// startServer launches mdserve on a free port and waits for the listening
+// banner to learn the address.
+func startServer(t *testing.T, bin, dir string, slots int) *serverProc {
+	t.Helper()
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-dir", dir, "-slots", fmt.Sprint(slots))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stdout)
+	if !sc.Scan() {
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatalf("mdserve exited before its listening banner: %v", sc.Err())
+	}
+	line := sc.Text() // "mdserve listening on ADDR (state in DIR, N slots)"
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		cmd.Process.Kill() //nolint:errcheck
+		t.Fatalf("unexpected banner %q", line)
+	}
+	go func() { // keep draining so the child never blocks on a full pipe
+		for sc.Scan() {
+		}
+	}()
+	p := &serverProc{cmd: cmd, base: "http://" + fields[3], done: make(chan struct{})}
+	go func() {
+		p.waitErr = cmd.Wait()
+		close(p.done)
+	}()
+	t.Cleanup(func() {
+		select {
+		case <-p.done: // already exited
+		default:
+			cmd.Process.Kill() //nolint:errcheck
+			<-p.done
+		}
+	})
+	return p
+}
+
+// submit posts a job spec and returns its ID.
+func submit(t *testing.T, base string, spec map[string]any) string {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("submit returned %d: %s", resp.StatusCode, msg)
+	}
+	var st serve.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st.ID
+}
+
+// awaitJob polls GET /jobs/{id} until pred holds.
+func awaitJob(t *testing.T, base, id string, what string, pred func(serve.JobStatus) bool) serve.JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(3 * time.Minute)
+	for {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st serve.JobStatus
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred(st) {
+			return st
+		}
+		if st.State == serve.StateFailed {
+			t.Fatalf("job %s failed while waiting for %s: %s", id, what, st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never reached %s; last status %+v", id, what, st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func hasState(want serve.State) func(serve.JobStatus) bool {
+	return func(st serve.JobStatus) bool {
+		for _, tr := range st.History {
+			if tr.State == want {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// assertConserved checks the campaign acceptance invariant: the final
+// population equals sum(new) - sum(merged) over the dose ledger, exactly.
+func assertConserved(t *testing.T, st serve.JobStatus) {
+	t.Helper()
+	if st.Dose == nil || len(st.Dose.Ledger) == 0 {
+		t.Fatalf("campaign %s finished without a dose ledger: %+v", st.ID, st.Dose)
+	}
+	sum := 0
+	for _, row := range st.Dose.Ledger {
+		sum += row.NewVacancies - row.Merged
+	}
+	if st.Dose.Population != sum {
+		t.Errorf("campaign %s population %d != sum(new)-sum(merged) = %d",
+			st.ID, st.Dose.Population, sum)
+	}
+}
+
+func campaignBody() map[string]any {
+	return map[string]any{
+		"type": "campaign", "slots": 2,
+		"cells": []int{16, 8, 8}, "steps": 100, "kmc_cycles": 10,
+		"table_points": 500, "checkpoint_every": 25, "metrics_every": 10,
+		"campaign": map[string]any{"iters": 2, "dose_increment": 2e-3, "energy": 300},
+	}
+}
+
+// TestServeSmoke is the CI smoke scenario (make smoke-serve): preemption
+// with exact ledger conservation, SIGTERM drain, and restart recovery —
+// against the real binary over real HTTP.
+func TestServeSmoke(t *testing.T) {
+	bin := buildServer(t)
+	dir := t.TempDir()
+	p := startServer(t, bin, dir, 2)
+
+	// A low-priority campaign takes both slots; once it is measurably
+	// running (its telemetry is live), a high-priority MD job evicts it.
+	camp := submit(t, p.base, campaignBody())
+	awaitJob(t, p.base, camp, "running telemetry", func(st serve.JobStatus) bool {
+		if st.State != serve.StateRunning {
+			return false
+		}
+		resp, err := http.Get(p.base + "/metrics")
+		if err != nil {
+			return false
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return strings.Contains(string(body), `job="`+camp+`"`)
+	})
+	hi := submit(t, p.base, map[string]any{
+		"type": "md", "priority": 10, "slots": 1, "steps": 30, "table_points": 500,
+	})
+	awaitJob(t, p.base, camp, "preemption", hasState(serve.StatePreempted))
+	awaitJob(t, p.base, hi, "completion", func(st serve.JobStatus) bool { return st.State == serve.StateDone })
+	done := awaitJob(t, p.base, camp, "resumed completion", func(st serve.JobStatus) bool { return st.State == serve.StateDone })
+	if done.Attempts < 2 {
+		t.Fatalf("campaign finished in %d attempts, want a preempted resume", done.Attempts)
+	}
+	assertConserved(t, done)
+
+	// SIGTERM mid-campaign: the server checkpoints the job, persists the
+	// queue, and exits cleanly.
+	second := submit(t, p.base, campaignBody())
+	awaitJob(t, p.base, second, "running", func(st serve.JobStatus) bool { return st.State == serve.StateRunning })
+	if err := p.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.waitExit(t, 2*time.Minute, "SIGTERM drain"); err != nil {
+		t.Fatalf("drained server exited with %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ledger.json")); err != nil {
+		t.Fatalf("no persisted ledger after drain: %v", err)
+	}
+
+	// Restart on the same state dir: the drained campaign is recovered,
+	// resumed from its checkpoint, and runs to a conserved completion.
+	p2 := startServer(t, bin, dir, 2)
+	recovered := awaitJob(t, p2.base, second, "recovered completion", func(st serve.JobStatus) bool { return st.State == serve.StateDone })
+	if recovered.Attempts < 2 {
+		t.Fatalf("recovered campaign finished in %d attempts, want a resume", recovered.Attempts)
+	}
+	assertConserved(t, recovered)
+	// The pre-drain history (submitted on the first server) survived.
+	if !hasState(serve.StatePreempted)(recovered) {
+		t.Fatalf("recovered history lost the drain preemption: %+v", recovered.History)
+	}
+
+	if err := p2.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := p2.waitExit(t, time.Minute, "idle SIGTERM drain"); err != nil {
+		t.Fatalf("idle drain exited with %v", err)
+	}
+}

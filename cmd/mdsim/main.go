@@ -7,12 +7,14 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
 
 	"mdkmc"
+	"mdkmc/internal/cliutil"
 	"mdkmc/internal/eam"
 )
 
@@ -93,7 +95,16 @@ func main() {
 		Every:   *ckptEvery,
 		Keep:    *ckptKeep,
 		Restart: *restart,
-	}, mdkmc.WithFaults(faults...), mdkmc.WithTelemetry(tel))
+	}, mdkmc.WithFaults(faults...), mdkmc.WithTelemetry(tel),
+		mdkmc.WithPreemption(cliutil.PreemptOnSignal("mdsim")))
+	if errors.Is(err, mdkmc.ErrPreempted) {
+		if *ckptDir != "" {
+			fmt.Printf("mdsim: interrupted — checkpoint committed in %s; resume with -restart\n", *ckptDir)
+		} else {
+			fmt.Println("mdsim: interrupted (no -checkpoint-dir, progress discarded)")
+		}
+		return
+	}
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -68,12 +68,21 @@ type (
 	// TelemetryReport is the end-of-run per-phase report, every metric
 	// min/mean/max-aggregated across ranks.
 	TelemetryReport = telemetry.Report
+	// Preemptor carries an asynchronous checkpoint-and-stop request into a
+	// run (WithPreemption, or CoupledConfig.Preempt for coupled/campaign
+	// runs). See DESIGN.md §16.
+	Preemptor = couple.Preemptor
 )
+
+// ErrPreempted is returned by a run stopped by a Preemptor after committing
+// a resumable snapshot; test with errors.Is and resume via Checkpoint.Restart.
+var ErrPreempted = couple.ErrPreempted
 
 // runOpts collects the per-run options of the checkpointed entry points.
 type runOpts struct {
 	faults    []Fault
 	telemetry TelemetryOptions
+	preempt   *Preemptor
 }
 
 // RunOption customizes a Run*Checkpointed call.
@@ -92,6 +101,16 @@ func WithFaults(faults ...Fault) RunOption {
 // run without it.
 func WithTelemetry(opts TelemetryOptions) RunOption {
 	return func(o *runOpts) { o.telemetry = opts }
+}
+
+// WithPreemption arms checkpoint-backed eviction: when p.Request is called
+// from another goroutine, the run stops at its next step/cycle boundary,
+// writes one final snapshot through the checkpoint coordinator (when one is
+// configured), and returns ErrPreempted. Resume the job by re-running the
+// same configuration with Checkpoint.Restart — on the same topology the
+// continuation is bit-identical; on a different one it re-shards elastically.
+func WithPreemption(p *Preemptor) RunOption {
+	return func(o *runOpts) { o.preempt = p }
 }
 
 func applyRunOptions(opts []RunOption) runOpts {
@@ -247,6 +266,17 @@ func RunMDCheckpointed(cfg MDConfig, ck Checkpoint, opts ...RunOption) (*MDResul
 				}
 			}
 			c.FaultPoint(mpi.PointMDStep, step)
+			// Preemption boundary: the guard is rank-uniform, so every
+			// rank enters the collective Poll in lockstep; the final step
+			// falls through to normal completion instead of evicting.
+			if o.preempt != nil && step < cfg.Steps && o.preempt.Poll(c) {
+				if co != nil {
+					if err := co.Snapshot(c, couple.StageMD, step, topo, nil, r.Save); err != nil {
+						return err
+					}
+				}
+				return couple.ErrPreempted
+			}
 		}
 		ke, pe := r.TotalEnergy()
 		temp := r.Temperature()
@@ -380,6 +410,15 @@ func RunKMCCheckpointed(cfg KMCConfig, cycles int, tThreshold float64, ck Checkp
 				}
 			}
 			c.FaultPoint(mpi.PointKMCCycle, st.Cycles)
+			// Preemption boundary (rank-uniform guard; see the MD loop).
+			if o.preempt != nil && st.Cycles < cycles && st.Time < tThreshold && o.preempt.Poll(c) {
+				if co != nil {
+					if err := co.Snapshot(c, couple.StageKMC, st.Cycles, topo, nil, st.Save); err != nil {
+						return err
+					}
+				}
+				return couple.ErrPreempted
+			}
 		}
 		tot := c.Allreduce(mpi.Sum, float64(st.Events))
 		vac := st.GlobalVacancyCount()

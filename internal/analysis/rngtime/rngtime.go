@@ -25,11 +25,15 @@ var Analyzer = &analysis.Analyzer{
 }
 
 // protectedPkgs are the deterministic packages (and their subtrees).
+// internal/serve joins the simulation packages: the job scheduler's state
+// machine must be replayable from submission order alone, so its timestamps
+// come from an injected Clock (the wall clock lives in cmd/mdserve).
 var protectedPkgs = []string{
 	"mdkmc/internal/md",
 	"mdkmc/internal/kmc",
 	"mdkmc/internal/couple",
 	"mdkmc/internal/lattice",
+	"mdkmc/internal/serve",
 }
 
 // clockFuncs are the wall-clock reads of package time.

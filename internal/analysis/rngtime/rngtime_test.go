@@ -8,5 +8,5 @@ import (
 )
 
 func TestRngtime(t *testing.T) {
-	analysistest.Run(t, rngtime.Analyzer, "mdkmc/internal/md", "a")
+	analysistest.Run(t, rngtime.Analyzer, "mdkmc/internal/md", "mdkmc/internal/serve", "a")
 }

@@ -1,0 +1,23 @@
+// Package serve is a fixture standing in for the real job-server package:
+// rngtime protects it by import path — the scheduler must take its
+// timestamps from the injected Clock, never the wall clock.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+func schedulerClockRead() time.Time {
+	return time.Now() // want "time.Now in deterministic package"
+}
+
+func jitteredBackoff() float64 {
+	return rand.Float64() // want "in deterministic package"
+}
+
+// injectedClockOK is the sanctioned shape: time values flow in from outside
+// (cmd/mdserve's wall clock or a test's fake), never read here.
+func injectedClockOK(now func() time.Time) time.Time {
+	return now()
+}

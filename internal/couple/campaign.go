@@ -593,6 +593,18 @@ func RunCampaign(cfg Config) (*CampaignResult, error) {
 					}
 				}
 				c.FaultPoint(mpi.PointMDStep, gstep)
+				// Preemption boundary: mid-iteration snapshots must leave the
+				// iteration resumable (localStep < Steps), so the last step of
+				// the MD stage defers to the iteration-boundary check below.
+				if cfg.Preempt != nil && s+1 < cfg.MD.Steps && cfg.Preempt.Poll(c) {
+					mdStage.End()
+					if co != nil {
+						if err := co.SnapshotCampaign(c, gstep, mdTopo, snapState(it, &inj), rank.Save); err != nil {
+							return err
+						}
+					}
+					return ErrPreempted
+				}
 			}
 			mdStage.End()
 			localStep = 0
@@ -668,6 +680,17 @@ func RunCampaign(cfg Config) (*CampaignResult, error) {
 				if err := co.SnapshotCampaign(c, (it+1)*cfg.MD.Steps, mdTopo, snapState(it+1, nil), rank.Save); err != nil {
 					return err
 				}
+			}
+			// Preemption boundary between iterations (the KMC/OKMC anneal has
+			// no checkpointable mid-state, so a request raised during it is
+			// honored here, after the iteration's ledger row is complete).
+			if cfg.Preempt != nil && it+1 < spec.Iters && cfg.Preempt.Poll(c) {
+				if co != nil {
+					if err := co.SnapshotCampaign(c, (it+1)*cfg.MD.Steps, mdTopo, snapState(it+1, nil), rank.Save); err != nil {
+						return err
+					}
+				}
+				return ErrPreempted
 			}
 		}
 

@@ -1,0 +1,92 @@
+package couple
+
+// Checkpoint-backed preemption (DESIGN.md §16): a run can be asked — from
+// another goroutine, typically the job server's scheduler or a CLI signal
+// handler — to stop at its next step/cycle boundary, write one final
+// snapshot through the ordinary checkpoint coordinator, and return
+// ErrPreempted. The snapshot is indistinguishable from a periodic one, so
+// the evicted run later resumes through the existing restart path
+// (bit-identical on the same topology, re-sharded when the slot count
+// changed) as if nothing had happened.
+
+import (
+	"errors"
+	"sync"
+
+	"mdkmc/internal/mpi"
+)
+
+// ErrPreempted is returned by a run that was stopped by a Preemptor after
+// committing a resumable snapshot. Callers test for it with errors.Is and
+// re-run the same configuration with Checkpoint.Restart to continue.
+var ErrPreempted = errors.New("couple: run preempted at a checkpoint boundary")
+
+// Preemptor carries an asynchronous checkpoint-and-stop request into a run.
+// The zero value is ready to use. Request may be called from any goroutine;
+// the run polls the flag collectively at step/cycle boundaries, so every
+// rank takes the eviction branch at the same boundary and the world unwinds
+// cleanly. A Preemptor is single-shot: once requested it stays requested,
+// so a resumed attempt needs a fresh one.
+type Preemptor struct {
+	mu        sync.Mutex
+	requested bool
+	ch        chan struct{} // lazily built by C, closed on request
+}
+
+// Request asks the run to checkpoint and stop at its next boundary. Safe on
+// a nil receiver (no-op) and idempotent.
+func (p *Preemptor) Request() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.requested {
+		return
+	}
+	p.requested = true
+	if p.ch != nil {
+		close(p.ch)
+	}
+}
+
+// Requested reports whether preemption has been requested (false on nil).
+func (p *Preemptor) Requested() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.requested
+}
+
+// C returns a channel that is closed once preemption is requested, so
+// goroutines supervising a run (job-server runners, CLI signal handlers)
+// can select on the request instead of polling Requested.
+func (p *Preemptor) C() <-chan struct{} {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.ch == nil {
+		p.ch = make(chan struct{})
+		if p.requested {
+			close(p.ch)
+		}
+	}
+	return p.ch
+}
+
+// Poll is the collective boundary check: rank 0 reads the request flag and
+// the decision is reduced to every rank, so all ranks agree on the exact
+// boundary the eviction happens at even though they observe the shared flag
+// at different wall-clock times. Every rank of c must call it in lockstep
+// (callers guard only on rank-uniform state: the preemptor is part of the
+// run configuration, identical on every rank).
+//
+//mdvet:collective
+func (p *Preemptor) Poll(c *mpi.Comm) bool {
+	v := 0.0
+	if c.Rank() == 0 && p.Requested() {
+		v = 1
+	}
+	return c.Allreduce(mpi.Max, v)[0] > 0.5
+}

@@ -32,6 +32,19 @@ type Options struct {
 	// HTTPAddr, when non-empty, serves a Prometheus-style text exposition of
 	// all ranks' live metrics on GET <addr>/metrics.
 	HTTPAddr string
+	// Job, when non-empty, labels every exposition sample and JSONL line
+	// with job="<Job>". The job server sets it to the job ID so many
+	// concurrent runs fold into one Prometheus page (WritePromSets).
+	Job string
+	// OnSet, when non-nil, receives the live Set once it is built — the hook
+	// the job server uses to capture a handle for merged exposition without
+	// threading the set back through every Run* signature.
+	OnSet func(*Set)
+	// OnFlush, when non-nil, is called (after the JSONL write, if any) on
+	// every flush with its label — a progress heartbeat. It fires even with
+	// no JSONL sink configured, so SSE progress needs only FlushEvery set.
+	// Called from a rank goroutine: keep it non-blocking.
+	OnFlush func(label string)
 }
 
 // Set owns the per-rank registries of one run plus the output sinks. A nil
@@ -87,7 +100,18 @@ func NewSet(ranks int, opts Options) (*Set, error) {
 		s.srv = &http.Server{Handler: mux}
 		go s.srv.Serve(ln) //nolint:errcheck — Serve returns on Close
 	}
+	if opts.OnSet != nil {
+		opts.OnSet(s)
+	}
 	return s, nil
+}
+
+// Job returns the job label this set was configured with ("" on a nil set).
+func (s *Set) Job() string {
+	if s == nil {
+		return ""
+	}
+	return s.opts.Job
 }
 
 // Rank returns rank i's registry (nil on a nil or disabled set).
@@ -124,6 +148,7 @@ func (s *Set) FlushDue(step int) bool {
 // jsonlLine is the wire form of one flushed snapshot.
 type jsonlLine struct {
 	Type      string   `json:"type"` // "snapshot"
+	Job       string   `json:"job,omitempty"`
 	Label     string   `json:"label,omitempty"`
 	Seq       int      `json:"seq"`
 	ElapsedMS int64    `json:"elapsed_ms"`
@@ -134,6 +159,7 @@ type jsonlLine struct {
 // jsonlReport is the wire form of the final aggregated report line.
 type jsonlReport struct {
 	Type      string      `json:"type"` // "report"
+	Job       string      `json:"job,omitempty"`
 	ElapsedMS int64       `json:"elapsed_ms"`
 	Ranks     int         `json:"ranks"`
 	Metrics   []AggMetric `json:"metrics"`
@@ -144,7 +170,13 @@ type jsonlReport struct {
 // atomically, so concurrent recording on other ranks is safe. No-op without
 // a JSONL sink.
 func (s *Set) Flush(label string) error {
-	if s == nil || s.bw == nil {
+	if s == nil {
+		return nil
+	}
+	if s.opts.OnFlush != nil {
+		defer s.opts.OnFlush(label)
+	}
+	if s.bw == nil {
 		return nil
 	}
 	s.mu.Lock()
@@ -155,7 +187,7 @@ func (s *Set) Flush(label string) error {
 	for _, reg := range s.regs {
 		snap := reg.Snapshot()
 		line := jsonlLine{
-			Type: "snapshot", Label: label, Seq: s.seq,
+			Type: "snapshot", Job: s.opts.Job, Label: label, Seq: s.seq,
 			ElapsedMS: elapsed, Rank: snap.Rank, Metrics: snap.Metrics,
 		}
 		if err := enc.Encode(&line); err != nil {
@@ -174,7 +206,7 @@ func (s *Set) WriteReport(rep *Report) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	line := jsonlReport{
-		Type: "report", ElapsedMS: time.Since(s.start).Milliseconds(),
+		Type: "report", Job: s.opts.Job, ElapsedMS: time.Since(s.start).Milliseconds(),
 		Ranks: rep.Ranks, Metrics: rep.Metrics,
 	}
 	if err := json.NewEncoder(s.bw).Encode(&line); err != nil {
@@ -230,27 +262,44 @@ func promName(name string) string {
 	return b.String()
 }
 
+// promLabels renders the label set of one rank's samples: rank always, job
+// first when the set carries one (labels sorted, Prometheus-idiomatic).
+func (s *Set) promLabels(rank int) string {
+	if s.opts.Job != "" {
+		return fmt.Sprintf("job=%q,rank=\"%d\"", s.opts.Job, rank)
+	}
+	return fmt.Sprintf("rank=\"%d\"", rank)
+}
+
 // WriteProm renders every rank's metrics in the Prometheus text exposition
 // format: counters and gauges as one sample per rank, timers as
 // _ns_sum/_count pairs plus a cumulative _ns_bucket histogram.
-func (s *Set) WriteProm(w io.Writer) {
-	if s == nil {
-		return
-	}
-	// Group samples by metric name so each # TYPE header appears once.
+func (s *Set) WriteProm(w io.Writer) { WritePromSets(w, s) }
+
+// WritePromSets merges several runs' live metrics into one Prometheus text
+// exposition: samples from every set fold under a single # TYPE header per
+// metric, distinguished by their job/rank labels. Nil sets are skipped, so
+// the job server can pass its whole (sparse) fleet. The first set seen for a
+// metric fixes its kind, as Prometheus requires one type per name.
+func WritePromSets(w io.Writer, sets ...*Set) {
 	type sample struct {
-		rank int
-		m    Metric
+		labels string
+		m      Metric
 	}
 	byName := make(map[string][]sample)
 	var names []string
-	for _, reg := range s.regs {
-		snap := reg.Snapshot()
-		for _, m := range snap.Metrics {
-			if _, ok := byName[m.Name]; !ok {
-				names = append(names, m.Name)
+	for _, s := range sets {
+		if s == nil {
+			continue
+		}
+		for _, reg := range s.regs {
+			snap := reg.Snapshot()
+			for _, m := range snap.Metrics {
+				if _, ok := byName[m.Name]; !ok {
+					names = append(names, m.Name)
+				}
+				byName[m.Name] = append(byName[m.Name], sample{labels: s.promLabels(snap.Rank), m: m})
 			}
-			byName[m.Name] = append(byName[m.Name], sample{rank: snap.Rank, m: m})
 		}
 	}
 	sort.Strings(names)
@@ -261,7 +310,7 @@ func (s *Set) WriteProm(w io.Writer) {
 		case "gauge":
 			fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
 			for _, s := range samples {
-				fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", pn, s.rank, s.m.Value)
+				fmt.Fprintf(w, "%s{%s} %d\n", pn, s.labels, s.m.Value)
 			}
 		case "timer":
 			fmt.Fprintf(w, "# TYPE %s_ns histogram\n", pn)
@@ -269,16 +318,16 @@ func (s *Set) WriteProm(w io.Writer) {
 				cum := int64(0)
 				for _, b := range s.m.Buckets {
 					cum += b.Count
-					fmt.Fprintf(w, "%s_ns_bucket{rank=\"%d\",le=\"%d\"} %d\n", pn, s.rank, b.LeNS, cum)
+					fmt.Fprintf(w, "%s_ns_bucket{%s,le=\"%d\"} %d\n", pn, s.labels, b.LeNS, cum)
 				}
-				fmt.Fprintf(w, "%s_ns_bucket{rank=\"%d\",le=\"+Inf\"} %d\n", pn, s.rank, s.m.Count)
-				fmt.Fprintf(w, "%s_ns_sum{rank=\"%d\"} %d\n", pn, s.rank, s.m.SumNS)
-				fmt.Fprintf(w, "%s_ns_count{rank=\"%d\"} %d\n", pn, s.rank, s.m.Count)
+				fmt.Fprintf(w, "%s_ns_bucket{%s,le=\"+Inf\"} %d\n", pn, s.labels, s.m.Count)
+				fmt.Fprintf(w, "%s_ns_sum{%s} %d\n", pn, s.labels, s.m.SumNS)
+				fmt.Fprintf(w, "%s_ns_count{%s} %d\n", pn, s.labels, s.m.Count)
 			}
 		default:
 			fmt.Fprintf(w, "# TYPE %s counter\n", pn)
 			for _, s := range samples {
-				fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", pn, s.rank, s.m.Value)
+				fmt.Fprintf(w, "%s{%s} %d\n", pn, s.labels, s.m.Value)
 			}
 		}
 	}

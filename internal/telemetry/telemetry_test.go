@@ -369,3 +369,71 @@ func TestPromExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestPromMergedSets: several job-labeled sets fold into one exposition with
+// a single # TYPE header per metric and job-distinguished samples — the job
+// server's /metrics page.
+func TestPromMergedSets(t *testing.T) {
+	var captured *Set
+	a, err := NewSet(1, Options{Enabled: true, Job: "job-000001", OnSet: func(s *Set) { captured = s }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if captured != a {
+		t.Fatalf("OnSet hook did not deliver the live set")
+	}
+	if a.Job() != "job-000001" {
+		t.Fatalf("Job() = %q", a.Job())
+	}
+	b, err := NewSet(2, Options{Enabled: true, Job: "job-000002"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.Rank(0).Counter("md/steps").Add(10)
+	b.Rank(0).Counter("md/steps").Add(20)
+	b.Rank(1).Counter("md/steps").Add(30)
+	b.Rank(1).Timer("md/step").Observe(time.Microsecond)
+
+	var sb strings.Builder
+	WritePromSets(&sb, a, nil, b) // nil sets (finished jobs) are skipped
+	body := sb.String()
+	if n := strings.Count(body, "# TYPE mdkmc_md_steps counter"); n != 1 {
+		t.Fatalf("want exactly one # TYPE header for the shared metric, got %d:\n%s", n, body)
+	}
+	for _, want := range []string{
+		`mdkmc_md_steps{job="job-000001",rank="0"} 10`,
+		`mdkmc_md_steps{job="job-000002",rank="0"} 20`,
+		`mdkmc_md_steps{job="job-000002",rank="1"} 30`,
+		`mdkmc_md_step_ns_count{job="job-000002",rank="1"} 1`,
+		`mdkmc_md_step_ns_bucket{job="job-000002",rank="1",le=`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("merged exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+// TestOnFlushFiresWithoutJSONL: the progress-heartbeat hook must fire on
+// every Flush even when no JSONL sink is configured.
+func TestOnFlushFiresWithoutJSONL(t *testing.T) {
+	var labels []string
+	s, err := NewSet(1, Options{Enabled: true, FlushEvery: 5,
+		OnFlush: func(label string) { labels = append(labels, label) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.FlushDue(5) || s.FlushDue(3) {
+		t.Fatal("FlushDue cadence broken")
+	}
+	if err := s.Flush("md-step-5"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // Close flushes "final"
+		t.Fatal(err)
+	}
+	if len(labels) != 2 || labels[0] != "md-step-5" || labels[1] != "final" {
+		t.Fatalf("OnFlush saw %v, want [md-step-5 final]", labels)
+	}
+}
