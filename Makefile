@@ -20,14 +20,18 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Domain-specific static analysis (DESIGN.md §12): the mdvet suite enforces
-# the determinism and collective-symmetry contracts. Driving it through
-# `go vet -vettool` covers _test.go files too and caches per package.
+# Domain-specific static analysis (DESIGN.md §12, §17): the mdvet suite
+# enforces the determinism, collective-symmetry, and checkpoint/preemption
+# contracts. Driving it through `go vet -vettool` covers _test.go files too
+# and caches per package; the standalone -stats pass then prints the
+# per-analyzer reported/suppressed table (suppressed = reasoned //mdvet
+# exemptions in force, so exemption growth is visible in every lint run).
 bin/mdvet: $(wildcard cmd/mdvet/*.go internal/analysis/*.go internal/analysis/*/*.go)
 	$(GO) build -o bin/mdvet ./cmd/mdvet
 
 lint: bin/mdvet
 	$(GO) vet -vettool=$(CURDIR)/bin/mdvet ./...
+	./bin/mdvet -stats ./...
 
 # Third-party analyzers, pinned. These download the tool on first use, so
 # they are CI-only gates (the offline dev image cannot fetch them); new
@@ -61,11 +65,14 @@ race:
 recovery:
 	$(GO) test -race -count=1 -run 'TestRecovery|TestAtomicCommit' ./internal/couple
 
-# Per-package coverage with an enforced floor on internal/couple — the
+# Per-package coverage with enforced floors on internal/couple — the
 # restart-correctness core (checkpoint coordinator, re-shard loaders,
-# repartitioner). The merged profile (cover.out) and the couple-only
-# profile (cover_couple.out) are uploaded as CI artifacts.
+# repartitioner) — and on internal/analysis, the mdvet framework and
+# analyzer suite (a contract checker with untested branches silently stops
+# checking the contract). The merged profile (cover.out) and the per-floor
+# profiles are uploaded as CI artifacts.
 COUPLE_COVER_FLOOR ?= 80
+ANALYSIS_COVER_FLOOR ?= 80
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...
@@ -74,6 +81,11 @@ cover:
 	echo "internal/couple coverage: $$pct% (floor $(COUPLE_COVER_FLOOR)%)"; \
 	awk -v p=$$pct -v f=$(COUPLE_COVER_FLOOR) 'BEGIN {exit (p+0 < f) ? 1 : 0}' || \
 	{ echo "FAIL: internal/couple coverage $$pct% is below the $(COUPLE_COVER_FLOOR)% floor"; exit 1; }
+	$(GO) test -coverprofile=cover_analysis.out -coverpkg=./internal/analysis/... ./internal/analysis/... ./cmd/mdvet
+	@pct=$$($(GO) tool cover -func=cover_analysis.out | awk '/^total:/ {sub(/%/,"",$$3); print $$3}'); \
+	echo "internal/analysis coverage: $$pct% (floor $(ANALYSIS_COVER_FLOOR)%)"; \
+	awk -v p=$$pct -v f=$(ANALYSIS_COVER_FLOOR) 'BEGIN {exit (p+0 < f) ? 1 : 0}' || \
+	{ echo "FAIL: internal/analysis coverage $$pct% is below the $(ANALYSIS_COVER_FLOOR)% floor"; exit 1; }
 
 # The incremental-vs-rescan KMC cycle contrast (EXPERIMENTS.md).
 bench-kmc:

@@ -1,20 +1,31 @@
 // Command mdvet is the repository's domain-specific static-analysis gate
-// (DESIGN.md §12). It runs four analyzers that encode the determinism and
-// collective-symmetry contracts the paper's results rest on:
+// (DESIGN.md §12, §17). It runs eight analyzers that encode the
+// determinism, collective-symmetry, and checkpoint/preemption contracts
+// the paper's results rest on:
 //
-//	collsym   mpi collectives under rank-dependent control flow
-//	maporder  order-sensitive work inside map iteration
-//	rngtime   wall-clock/global-rand use in deterministic packages
-//	hotalloc  allocation hazards in //mdvet:hot functions
+//	collsym      mpi collectives under rank-dependent control flow
+//	maporder     order-sensitive work inside map iteration
+//	rngtime      wall-clock/global-rand use in deterministic packages
+//	hotalloc     allocation hazards in //mdvet:hot functions
+//	hashcover    struct fields invisible to the struct's Hash method
+//	spanbalance  telemetry spans that do not End on every path
+//	preemptpoll  simulation loops without a preemption boundary;
+//	             rank-guarded paths into collectives across calls
+//	errpanic     bare panics in the library packages the serve layer
+//	             links against
 //
 // Two invocation modes:
 //
-//	mdvet [packages]         standalone: loads and checks the packages
-//	                         (default ./...) with the stdlib-only loader
+//	mdvet [-stats] [packages]
+//	                         standalone: loads and checks the packages
+//	                         (default ./...) with the stdlib-only loader;
+//	                         -stats prints the per-analyzer
+//	                         reported/suppressed table after the run
 //	go vet -vettool=$(pwd)/bin/mdvet ./...
 //	                         unitchecker mode: the go command type-checks
 //	                         and caches per package, invoking mdvet with a
-//	                         *.cfg file (fastest for incremental runs)
+//	                         *.cfg file (fastest for incremental runs, and
+//	                         the only mode that sees _test.go files)
 //
 // Exit status: 0 clean, 1 internal error, 2 findings.
 package main
@@ -33,9 +44,13 @@ import (
 
 	"mdkmc/internal/analysis"
 	"mdkmc/internal/analysis/collsym"
+	"mdkmc/internal/analysis/errpanic"
+	"mdkmc/internal/analysis/hashcover"
 	"mdkmc/internal/analysis/hotalloc"
 	"mdkmc/internal/analysis/maporder"
+	"mdkmc/internal/analysis/preemptpoll"
 	"mdkmc/internal/analysis/rngtime"
+	"mdkmc/internal/analysis/spanbalance"
 )
 
 // analyzers is the mdvet suite, in report order.
@@ -44,6 +59,10 @@ var analyzers = []*analysis.Analyzer{
 	maporder.Analyzer,
 	rngtime.Analyzer,
 	hotalloc.Analyzer,
+	hashcover.Analyzer,
+	spanbalance.Analyzer,
+	preemptpoll.Analyzer,
+	errpanic.Analyzer,
 }
 
 func main() {
@@ -52,7 +71,7 @@ func main() {
 	// invocation per package with a JSON config file.
 	for _, a := range args {
 		if a == "-V=full" || a == "-V" {
-			fmt.Println("mdvet version v1.0.0")
+			fmt.Println("mdvet version v2.0.0")
 			return
 		}
 	}
@@ -64,6 +83,11 @@ func main() {
 		os.Exit(unitcheck(args[0]))
 	}
 
+	stats := false
+	if len(args) > 0 && args[0] == "-stats" {
+		stats = true
+		args = args[1:]
+	}
 	if len(args) == 0 {
 		args = []string{"./..."}
 	}
@@ -72,13 +96,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mdvet:", err)
 		os.Exit(1)
 	}
-	diags, err := analysis.Check(pkgs, analyzers)
+	diags, perAnalyzer, err := analysis.CheckStats(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mdvet:", err)
 		os.Exit(1)
 	}
 	for _, d := range diags {
 		fmt.Fprintln(os.Stderr, d)
+	}
+	if stats {
+		fmt.Printf("%-12s %9s %10s\n", "analyzer", "reported", "suppressed")
+		for _, s := range perAnalyzer {
+			fmt.Printf("%-12s %9d %10d\n", s.Analyzer, s.Reported, s.Suppressed)
+		}
 	}
 	if len(diags) > 0 {
 		os.Exit(2)

@@ -22,12 +22,24 @@
 //
 //	//mdvet:ignore <analyzer> <reason>   suppress findings on this or the
 //	                                     next line; the reason is mandatory
+//	//mdvet:hashexempt <reason>          exclude this struct field from the
+//	                                     hashcover contract (documented
+//	                                     restart-neutral knob)
+//	//mdvet:panics <reason>              license a bare panic on this or
+//	                                     the next line for errpanic
 //	//mdvet:hot                          (func doc) zero-alloc hot path —
 //	                                     checked by hotalloc
 //	//mdvet:collective                   (func doc) every rank must call
 //	                                     this function in lockstep —
 //	                                     treated like an mpi collective by
-//	                                     collsym
+//	                                     collsym and preemptpoll
+//	//mdvet:boundary                     (func doc) declared checkpoint/
+//	                                     preemption boundary — satisfies
+//	                                     the preemptpoll loop contract
+//
+// Suppression directives are themselves audited: one that suppresses
+// nothing after every analyzer ran is reported as stale (Directives.Stale,
+// folded into Check).
 package analysis
 
 import (
@@ -66,14 +78,18 @@ type Pass struct {
 	TypesInfo *types.Info
 	Dirs      *Directives
 
-	sink *[]Diagnostic
+	sink       *[]Diagnostic
+	suppressed *int
 }
 
 // Reportf records a finding unless an //mdvet:ignore directive for this
-// analyzer covers the position.
+// analyzer covers the position (counted as a suppression for Stats).
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
 	if p.Dirs.Ignored(p.Analyzer.Name, position) {
+		if p.suppressed != nil {
+			*p.suppressed++
+		}
 		return
 	}
 	*p.sink = append(*p.sink, Diagnostic{
@@ -81,6 +97,16 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Pos:      position,
 		Message:  fmt.Sprintf(format, args...),
 	})
+}
+
+// Exempted records that a would-be finding was excluded by a reasoned
+// exemption directive (//mdvet:hashexempt, //mdvet:panics), so Stats
+// counts it as suppressed alongside //mdvet:ignore hits and exemption
+// growth stays visible in lint output.
+func (p *Pass) Exempted() {
+	if p.suppressed != nil {
+		*p.suppressed++
+	}
 }
 
 // FuncDeclOf resolves a function or method object back to its declaration
@@ -117,15 +143,20 @@ type Package struct {
 
 // RunAnalyzer applies one analyzer to one package and returns its findings.
 func RunAnalyzer(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
+	return runAnalyzer(pkg, a, nil)
+}
+
+func runAnalyzer(pkg *Package, a *Analyzer, suppressed *int) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	pass := &Pass{
-		Analyzer:  a,
-		Fset:      pkg.Fset,
-		Files:     pkg.Files,
-		Pkg:       pkg.Types,
-		TypesInfo: pkg.Info,
-		Dirs:      pkg.Dirs,
-		sink:      &diags,
+		Analyzer:   a,
+		Fset:       pkg.Fset,
+		Files:      pkg.Files,
+		Pkg:        pkg.Types,
+		TypesInfo:  pkg.Info,
+		Dirs:       pkg.Dirs,
+		sink:       &diags,
+		suppressed: suppressed,
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
@@ -133,20 +164,48 @@ func RunAnalyzer(pkg *Package, a *Analyzer) ([]Diagnostic, error) {
 	return diags, nil
 }
 
-// Check applies every analyzer to every package, appends one diagnostic per
-// malformed //mdvet: directive, and returns the findings sorted by
-// position.
+// Stats counts one analyzer's outcomes across a Check run: findings that
+// reached the report and findings an //mdvet:ignore swallowed. The
+// contrast makes "clean" distinguishable from "suppressed" in CI logs.
+type Stats struct {
+	Analyzer   string
+	Reported   int
+	Suppressed int
+}
+
+// Check applies every analyzer to every package, appends one diagnostic
+// per malformed or stale //mdvet: directive, and returns the findings
+// sorted by position.
 func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := CheckStats(pkgs, analyzers)
+	return diags, err
+}
+
+// CheckStats is Check plus the per-analyzer reported/suppressed counts,
+// in analyzer order. Stale-directive detection runs after the full suite:
+// a suppression directive no analyzer used across the whole run is dead
+// and reported at its own position.
+func CheckStats(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Stats, error) {
+	stats := make([]Stats, len(analyzers))
+	for i, a := range analyzers {
+		stats[i].Analyzer = a.Name
+	}
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		diags = append(diags, pkg.Dirs.Bad()...)
-		for _, a := range analyzers {
-			ds, err := RunAnalyzer(pkg, a)
+		for i, a := range analyzers {
+			ds, err := runAnalyzer(pkg, a, &stats[i].Suppressed)
 			if err != nil {
-				return nil, err
+				return nil, nil, err
 			}
+			stats[i].Reported += len(ds)
 			diags = append(diags, ds...)
 		}
+	}
+	// Every analyzer has now run over every package, so any suppression
+	// directive still unused is stale.
+	for _, pkg := range pkgs {
+		diags = append(diags, pkg.Dirs.Stale()...)
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -161,5 +220,5 @@ func Check(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags, nil
+	return diags, stats, nil
 }

@@ -51,7 +51,11 @@ func Run(t *testing.T, a *analysis.Analyzer, pkgPaths ...string) {
 		if err != nil {
 			t.Fatalf("running %s on %s: %v", a.Name, path, err)
 		}
+		// Stale detection normally runs after the full suite (Check); a
+		// fixture tree belongs to exactly one analyzer, so running it alone
+		// is the full suite for the directives the fixture carries.
 		diags = append(diags, pkg.Dirs.Bad()...)
+		diags = append(diags, pkg.Dirs.Stale()...)
 		compare(t, pkg, diags)
 	}
 }

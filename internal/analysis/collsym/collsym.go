@@ -29,7 +29,6 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
-	"strings"
 
 	"mdkmc/internal/analysis"
 )
@@ -127,24 +126,10 @@ func namedOf(t types.Type) *types.Named {
 	return named
 }
 
-// rankDependent reports whether the expression reads the rank: a call to a
-// method named Rank, or any identifier containing "rank".
+// rankDependent is the shared guard heuristic (analysis.RankDependent):
+// a call to a method named Rank, or any identifier containing "rank".
 func rankDependent(e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
-				found = true
-			}
-		case *ast.Ident:
-			if strings.Contains(strings.ToLower(n.Name), "rank") {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
+	return analysis.RankDependent(e)
 }
 
 // funcScope tracks the innermost function literal/declaration during the

@@ -68,6 +68,100 @@ func f() {
 	}
 }
 
+func TestHashExemptAndPanicsRequireReason(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		bad  string // expected malformed-message fragment, "" for valid
+	}{
+		{"hashexempt bare", "//mdvet:hashexempt", "malformed //mdvet:hashexempt"},
+		{"hashexempt with reason", "//mdvet:hashexempt derived at runtime, never hashed", ""},
+		{"panics bare", "//mdvet:panics", "malformed //mdvet:panics"},
+		{"panics with reason", "//mdvet:panics unreachable: caller validated the range", ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := parseDirectives(t, "package p\n\nfunc f() {\n\t"+c.text+"\n\t_ = 1\n}\n")
+			bad := d.Bad()
+			if c.bad != "" {
+				if len(bad) != 1 || !strings.Contains(bad[0].Message, c.bad) {
+					t.Fatalf("want one %q diagnostic, got %v", c.bad, bad)
+				}
+				return
+			}
+			if len(bad) != 0 {
+				t.Fatalf("unexpected diagnostics: %v", bad)
+			}
+		})
+	}
+}
+
+func TestHashExemptAndPanicsCoverage(t *testing.T) {
+	d := parseDirectives(t, `package p
+
+type s struct {
+	//mdvet:hashexempt runtime knob
+	a int
+}
+
+func f() {
+	//mdvet:panics unreachable by construction
+	panic("x")
+}
+`)
+	at := func(line int) token.Position { return token.Position{Filename: "fix.go", Line: line} }
+	if !d.HashExempt(at(4)) || !d.HashExempt(at(5)) {
+		t.Error("hashexempt must cover its own line and the next")
+	}
+	if d.HashExempt(at(6)) {
+		t.Error("hashexempt must not leak past the next line")
+	}
+	if !d.PanicAllowed(at(9)) || !d.PanicAllowed(at(10)) {
+		t.Error("panics must cover its own line and the next")
+	}
+	if d.PanicAllowed(at(8)) {
+		t.Error("panics must not cover the line above")
+	}
+	if d.PanicAllowed(at(4)) || d.HashExempt(at(9)) {
+		t.Error("the two directives must not suppress each other")
+	}
+}
+
+func TestStaleDirectives(t *testing.T) {
+	d := parseDirectives(t, `package p
+
+func f() {
+	//mdvet:ignore collsym used below
+	_ = 1
+	//mdvet:ignore maporder never fires
+	_ = 2
+	//mdvet:hashexempt never consulted
+	_ = 3
+	//mdvet:panics consulted below
+	_ = 4
+}
+`)
+	at := func(line int) token.Position { return token.Position{Filename: "fix.go", Line: line} }
+	// Simulate the analyzers: collsym suppresses at line 5, errpanic
+	// consults line 11; the maporder ignore and the hashexempt stay unused.
+	if !d.Ignored("collsym", at(5)) {
+		t.Fatal("collsym ignore should cover line 5")
+	}
+	if !d.PanicAllowed(at(11)) {
+		t.Fatal("panics directive should cover line 11")
+	}
+	stale := d.Stale()
+	if len(stale) != 2 {
+		t.Fatalf("want 2 stale directives, got %v", stale)
+	}
+	if stale[0].Pos.Line != 6 || !strings.Contains(stale[0].Message, "stale //mdvet:ignore maporder") {
+		t.Errorf("stale[0] = %v, want the unused maporder ignore at line 6", stale[0])
+	}
+	if stale[1].Pos.Line != 8 || !strings.Contains(stale[1].Message, "stale //mdvet:hashexempt") {
+		t.Errorf("stale[1] = %v, want the unused hashexempt at line 8", stale[1])
+	}
+}
+
 func TestHotAndCollectiveDirectives(t *testing.T) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, "fix.go", `package p
@@ -79,6 +173,9 @@ func hot() {}
 
 //mdvet:collective
 func coll() {}
+
+//mdvet:boundary
+func bound() {}
 
 func plain() {}
 `, parser.ParseComments)
@@ -97,5 +194,8 @@ func plain() {}
 	}
 	if !d.IsCollective(fns["coll"]) || d.IsCollective(fns["hot"]) || d.IsCollective(fns["plain"]) {
 		t.Error("IsCollective must reflect exactly the //mdvet:collective doc comments")
+	}
+	if !d.IsBoundary(fns["bound"]) || d.IsBoundary(fns["coll"]) || d.IsBoundary(fns["plain"]) {
+		t.Error("IsBoundary must reflect exactly the //mdvet:boundary doc comments")
 	}
 }

@@ -1,0 +1,87 @@
+// Package errpanic implements the mdvet analyzer that bans bare panics in
+// the library packages the serve layer links against. A panic in
+// internal/{md,kmc,couple,serve,lattice,eam} wedges a multi-tenant mdserve
+// process: the job-server contract (DESIGN.md §16) is that every failure
+// either returns an error (so the scheduler fails one job) or rides the
+// rank-abort machinery (mpi converts rank panics into RunE errors).
+//
+// A panic call is reported unless an //mdvet:panics <reason> directive on
+// the same or the preceding line licenses it. Two classes are legitimate
+// and must say which they are in the reason:
+//
+//   - invariant violations a peer rank caused (ghost-protocol unpackers):
+//     the mpi runtime converts the panic into a RankPanic error on the
+//     world, so panicking *is* the error return;
+//   - genuinely unreachable states (exhaustive switches over validated
+//     input).
+//
+// Test files are exempt: tests panic freely via t.Fatal machinery and
+// deliberately-broken fixtures.
+package errpanic
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"mdkmc/internal/analysis"
+)
+
+// Analyzer is the errpanic check.
+var Analyzer = &analysis.Analyzer{
+	Name: "errpanic",
+	Doc:  "flag bare panics in library packages that must fail by returned error",
+	Run:  run,
+}
+
+// protected are the library package paths (and their subtrees) the serve
+// layer depends on for forward progress.
+var protected = []string{
+	"mdkmc/internal/md",
+	"mdkmc/internal/kmc",
+	"mdkmc/internal/couple",
+	"mdkmc/internal/serve",
+	"mdkmc/internal/lattice",
+	"mdkmc/internal/eam",
+}
+
+func isProtected(path string) bool {
+	for _, p := range protected {
+		if path == p || strings.HasPrefix(path, p+"/") || strings.HasPrefix(path, p+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func run(p *analysis.Pass) error {
+	if !isProtected(p.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(p.Fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, ok := p.TypesInfo.Uses[id].(*types.Builtin); !ok {
+				return true // a shadowing declaration, not the builtin
+			}
+			pos := p.Fset.Position(call.Pos())
+			if p.Dirs.PanicAllowed(pos) {
+				p.Exempted()
+				return true
+			}
+			p.Reportf(call.Pos(), "bare panic in library package %s: return an error (or ride the rank-abort machinery) so the serve layer fails one job instead of the process; annotate //mdvet:panics <reason> if the panic is the contract", p.Pkg.Path())
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package errpanic_test
+
+import (
+	"testing"
+
+	"mdkmc/internal/analysis/analysistest"
+	"mdkmc/internal/analysis/errpanic"
+)
+
+func TestErrpanic(t *testing.T) {
+	analysistest.Run(t, errpanic.Analyzer, "mdkmc/internal/lattice", "a")
+}

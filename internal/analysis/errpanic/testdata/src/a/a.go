@@ -1,0 +1,7 @@
+// Package a is outside the protected import paths: errpanic must stay
+// silent no matter how it fails.
+package a
+
+func free() {
+	panic("tooling code may panic")
+}

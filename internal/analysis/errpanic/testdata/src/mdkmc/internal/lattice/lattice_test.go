@@ -1,0 +1,7 @@
+package lattice
+
+// Test files panic freely (fixtures, t.Fatal machinery): errpanic must
+// not report here.
+func testHelperPanics() {
+	panic("boom")
+}

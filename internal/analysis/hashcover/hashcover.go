@@ -1,0 +1,128 @@
+// Package hashcover implements the mdvet analyzer that keeps config-hash
+// coverage complete. Restart refusal (DESIGN.md §13) compares Hash()
+// strings: a checkpoint only resumes under a config whose hash matches the
+// one recorded at save time. Every field added to a hashed struct must
+// therefore either feed the hash or be explicitly declared restart-neutral
+// — a silently unhashed knob lets a restart resume under a physically
+// different configuration without refusing.
+//
+// For every method named Hash with no parameters and a single string
+// result on a struct receiver, the analyzer collects the fields referenced
+// in the method body and, transitively, in every same-package function the
+// body reaches (via the callgraph summary — helpers like kmcConfig that
+// project config fields count as coverage). A field that is never
+// referenced is reported at its declaration unless an
+// //mdvet:hashexempt <reason> directive on the field (same or preceding
+// line) declares it restart-neutral.
+//
+// Soundness limits are the callgraph's (see that package): calls through
+// function values or interfaces contribute no coverage, and any reference
+// to the field object — even on a different instance of the struct —
+// counts as coverage.
+package hashcover
+
+import (
+	"go/ast"
+	"go/types"
+
+	"mdkmc/internal/analysis"
+	"mdkmc/internal/analysis/callgraph"
+)
+
+// Analyzer is the hashcover check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hashcover",
+	Doc:  "flag struct fields invisible to the struct's Hash method (restart-refusal completeness)",
+	Run:  run,
+}
+
+func run(p *analysis.Pass) error {
+	g := callgraph.New(p.Files, p.TypesInfo)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Name.Name != "Hash" || fn.Recv == nil {
+				continue
+			}
+			obj, ok := p.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			checkHash(p, g, obj)
+		}
+	}
+	return nil
+}
+
+// hashSignature reports whether fn is the hash contract: a method with no
+// parameters returning exactly one string, on a struct receiver, and
+// returns that struct.
+func hashSignature(fn *types.Func) (*types.Struct, bool) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return nil, false
+	}
+	basic, ok := sig.Results().At(0).Type().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.String {
+		return nil, false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	st, ok := rt.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func checkHash(p *analysis.Pass, g *callgraph.Graph, hash *types.Func) {
+	st, ok := hashSignature(hash)
+	if !ok {
+		return
+	}
+	// Fields referenced anywhere in Hash or the same-package functions it
+	// reaches.
+	referenced := map[*types.Var]bool{}
+	for fn := range g.Reachable(hash) {
+		decl := g.DeclOf(fn)
+		if decl == nil || decl.Body == nil {
+			continue
+		}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if sel := p.TypesInfo.Selections[n]; sel != nil && sel.Kind() == types.FieldVal {
+					if v, ok := sel.Obj().(*types.Var); ok {
+						referenced[v] = true
+					}
+				}
+			case *ast.Ident:
+				// Composite-literal keys and embedded-field idents resolve
+				// through Uses rather than Selections.
+				if v, ok := p.TypesInfo.Uses[n].(*types.Var); ok && v.IsField() {
+					referenced[v] = true
+				}
+			}
+			return true
+		})
+	}
+	recvName := "?"
+	rt := hash.Type().(*types.Signature).Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	if named, ok := rt.(*types.Named); ok {
+		recvName = named.Obj().Name()
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		if referenced[field] {
+			continue
+		}
+		pos := p.Fset.Position(field.Pos())
+		if p.Dirs.HashExempt(pos) {
+			p.Exempted()
+			continue
+		}
+		p.Reportf(field.Pos(), "field %s is invisible to (%s).Hash: restart refusal cannot see changes to it — hash it or annotate //mdvet:hashexempt <reason>", field.Name(), recvName)
+	}
+}

@@ -1,0 +1,12 @@
+package hashcover_test
+
+import (
+	"testing"
+
+	"mdkmc/internal/analysis/analysistest"
+	"mdkmc/internal/analysis/hashcover"
+)
+
+func TestHashcover(t *testing.T) {
+	analysistest.Run(t, hashcover.Analyzer, "a")
+}

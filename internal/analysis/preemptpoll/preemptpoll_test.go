@@ -1,0 +1,12 @@
+package preemptpoll_test
+
+import (
+	"testing"
+
+	"mdkmc/internal/analysis/analysistest"
+	"mdkmc/internal/analysis/preemptpoll"
+)
+
+func TestPreemptpoll(t *testing.T) {
+	analysistest.Run(t, preemptpoll.Analyzer, "mdkmc/internal/couple", "a")
+}

@@ -1,0 +1,11 @@
+// Package kmc is a preemptpoll fixture stub: State.Cycle is an
+// engine-advance method by import path and name.
+package kmc
+
+// State is the KMC engine stub.
+type State struct {
+	Time   float64
+	Cycles int
+}
+
+func (s *State) Cycle() {}

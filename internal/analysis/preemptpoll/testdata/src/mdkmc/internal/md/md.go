@@ -1,0 +1,8 @@
+// Package md is a preemptpoll fixture stub: Rank.Step is an
+// engine-advance method by import path and name.
+package md
+
+// Rank is the per-rank MD engine stub.
+type Rank struct{}
+
+func (r *Rank) Step() {}

@@ -1,0 +1,9 @@
+// Package telemetry is a preemptpoll fixture stub: Aggregate is a known
+// collective by this import path and name.
+package telemetry
+
+// Snapshot is a stand-in for the per-rank metrics snapshot.
+type Snapshot struct{}
+
+// Aggregate is collective in the real package.
+func Aggregate(snaps []Snapshot) []Snapshot { return nil }

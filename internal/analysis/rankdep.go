@@ -1,0 +1,30 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RankDependent reports whether the expression reads the mpi rank: a call
+// to a method named Rank, or any identifier whose name contains "rank".
+// It is the shared guard heuristic of collsym and preemptpoll — a branch
+// condition matching it makes everything under the branch rank-asymmetric,
+// which is exactly what the collective-symmetry contract forbids around
+// collectives.
+func RankDependent(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Rank" {
+				found = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "rank") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,617 @@
+// Package spanbalance implements the mdvet analyzer that keeps telemetry
+// spans balanced: every telemetry.Timer.Begin() result must reach .End()
+// on every control-flow path. The telemetry layer's zero-perturbation
+// guarantee (DESIGN.md §11) assumes spans are pure brackets — a dropped,
+// shadowed, or leaked span skews the phase aggregation that the scaling
+// figures and the load balancer both read, silently and only at scale.
+//
+// The analysis is per function scope (function literals are separate
+// scopes) and per span variable, with a small abstract interpretation
+// over the statement structure:
+//
+//   - a Begin() whose result is discarded (expression statement or
+//     assigned to _) is reported at the call;
+//   - re-assigning a live span variable (a second Begin before End)
+//     shadows the first span and is reported at the second assignment;
+//   - a span still live at a return, or at the end of a loop body it was
+//     begun in, or at the end of the function, is reported at its Begin —
+//     unless the return propagates a non-nil error (the rank-abort path:
+//     RunE tears the run down and the telemetry report is abandoned);
+//   - `defer sp.End()` (directly or inside a deferred closure) balances
+//     every path; only re-Begin shadowing is still checked;
+//   - branches whose arms disagree about liveness at the join are
+//     reported once as path-dependent.
+//
+// Escapes end the analysis conservatively without a report: a span passed
+// to a call, stored into a structure, or captured by a non-End closure is
+// assumed balanced elsewhere. An End inside a nested closure counts where
+// the closure is written. Functions containing goto are skipped. These
+// are the documented soundness limits (DESIGN.md §17).
+package spanbalance
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"mdkmc/internal/analysis"
+)
+
+// Analyzer is the spanbalance check.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanbalance",
+	Doc:  "every telemetry.Timer.Begin() must reach .End() on all control-flow paths",
+	Run:  run,
+}
+
+const telemetryPath = "mdkmc/internal/telemetry"
+
+// isBeginCall reports whether call is telemetry (*Timer).Begin().
+func isBeginCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != "Begin" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	rt := sig.Recv().Type()
+	if ptr, ok := rt.(*types.Pointer); ok {
+		rt = ptr.Elem()
+	}
+	named, ok := rt.(*types.Named)
+	return ok && named.Obj().Name() == "Timer" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == telemetryPath
+}
+
+// scope is one function body analyzed independently.
+type scope struct {
+	body    *ast.BlockStmt
+	results *ast.FieldList
+}
+
+func run(p *analysis.Pass) error {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			for _, sc := range collectScopes(fn.Body, fn.Type.Results) {
+				checkScope(p, sc)
+			}
+		}
+	}
+	return nil
+}
+
+// collectScopes returns the root scope plus one per (transitively) nested
+// function literal.
+func collectScopes(body *ast.BlockStmt, results *ast.FieldList) []scope {
+	scopes := []scope{{body: body, results: results}}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, scope{body: lit.Body, results: lit.Type.Results})
+		}
+		return true
+	})
+	return scopes
+}
+
+// hasGoto reports whether the scope contains a goto (outside nested
+// literals — those are separate scopes).
+func hasGoto(sc scope) bool {
+	found := false
+	inspectScope(sc.body, func(n ast.Node) bool {
+		if br, ok := n.(*ast.BranchStmt); ok && br.Tok == token.GOTO {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// inspectScope is ast.Inspect that does not descend into nested function
+// literals.
+func inspectScope(root ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+func checkScope(p *analysis.Pass, sc scope) {
+	if hasGoto(sc) {
+		return
+	}
+	// Pass 1: classify every Begin call site in this scope.
+	var tracked []*types.Var
+	seen := map[*types.Var]bool{}
+	inspectScope(sc.body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isBeginCall(p.TypesInfo, call) {
+			return true
+		}
+		switch v := beginTarget(p, sc, call).(type) {
+		case *types.Var:
+			if !seen[v] {
+				seen[v] = true
+				tracked = append(tracked, v)
+			}
+		case dropped:
+			p.Reportf(call.Pos(), "result of Timer.Begin() is dropped: the span can never End and the phase measurement is lost")
+		}
+		return true
+	})
+	for _, v := range tracked {
+		checkVar(p, sc, v)
+	}
+}
+
+// dropped marks a Begin whose result is discarded.
+type dropped struct{}
+
+// beginTarget classifies one Begin call site: the *types.Var it is
+// assigned to, dropped{} when discarded, or nil when it balances inline
+// (immediate .End()) or escapes into an expression.
+func beginTarget(p *analysis.Pass, sc scope, call *ast.CallExpr) interface{} {
+	parents := parentMap(sc.body)
+	parent := parents[call]
+	switch par := parent.(type) {
+	case *ast.ExprStmt:
+		return dropped{}
+	case *ast.AssignStmt:
+		if idx := exprIndex(par.Rhs, call); idx >= 0 && len(par.Lhs) == len(par.Rhs) {
+			if id, ok := par.Lhs[idx].(*ast.Ident); ok {
+				if id.Name == "_" {
+					return dropped{}
+				}
+				if v := varOf(p, id); v != nil {
+					return v
+				}
+			}
+		}
+		return nil // assigned through a selector/index: escapes
+	case *ast.ValueSpec:
+		if idx := exprIndex(par.Values, call); idx >= 0 && len(par.Names) == len(par.Values) {
+			id := par.Names[idx]
+			if id.Name == "_" {
+				return dropped{}
+			}
+			if v := varOf(p, id); v != nil {
+				return v
+			}
+		}
+		return nil
+	case *ast.SelectorExpr:
+		// reg.Timer("x").Begin().End(): balanced inline.
+		if par.Sel.Name == "End" {
+			if grand, ok := parents[par].(*ast.CallExpr); ok && grand.Fun == par {
+				return nil
+			}
+		}
+		return nil
+	}
+	return nil // argument, return value, composite literal: escapes
+}
+
+func varOf(p *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := p.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	if v, ok := p.TypesInfo.Uses[id].(*types.Var); ok {
+		return v
+	}
+	return nil
+}
+
+func exprIndex(list []ast.Expr, e ast.Expr) int {
+	for i, x := range list {
+		if x == e {
+			return i
+		}
+	}
+	return -1
+}
+
+// parentMap builds child→parent links for the scope (cached per call; the
+// packages are small enough that rebuilding is cheap and keeps the walk
+// stateless).
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return false
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// checkVar runs the liveness analysis for one span variable.
+func checkVar(p *analysis.Pass, sc scope, v *types.Var) {
+	if escapes(p, sc, v) {
+		return
+	}
+	beginPos := firstBeginPos(p, sc, v)
+	if hasDeferredEnd(p, sc, v) {
+		// Every path Ends via the defer; only re-Begin shadowing can leak.
+		n := 0
+		inspectScope(sc.body, func(node ast.Node) bool {
+			if call, ok := node.(*ast.CallExpr); ok && isBeginCall(p.TypesInfo, call) && assignsTo(p, sc, call, v) {
+				n++
+				if n > 1 {
+					p.Reportf(call.Pos(), "span %s is re-begun while `defer %s.End()` is pending: the deferred End closes the new span and the first one leaks", v.Name(), v.Name())
+				}
+			}
+			return true
+		})
+		return
+	}
+	w := &walker{p: p, sc: sc, v: v, beginPos: beginPos}
+	live, _ := w.stmts(sc.body.List, false)
+	if live && !w.poisoned {
+		p.Reportf(beginPos, "span %s begun here does not reach .End() before the function returns", v.Name())
+	}
+}
+
+// escapes reports whether v is used outside the allowed span idioms
+// (Begin assignment, .End() receiver — also inside closures — or blank
+// reads the analysis understands).
+func escapes(p *analysis.Pass, sc scope, v *types.Var) bool {
+	parents := parentMap(sc.body)
+	esc := false
+	ast.Inspect(sc.body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || varOf(p, id) != v {
+			return true
+		}
+		switch par := parents[id].(type) {
+		case *ast.AssignStmt:
+			// LHS of an assignment (definition or overwrite).
+			for _, l := range par.Lhs {
+				if l == id {
+					return true
+				}
+			}
+			esc = true
+		case *ast.ValueSpec:
+			for _, name := range par.Names {
+				if name == id {
+					return true
+				}
+			}
+			esc = true // `var x = sp`: the span aliases away
+		case *ast.SelectorExpr:
+			// Only sp.End() is an allowed read.
+			if par.X == id && par.Sel.Name == "End" {
+				if call, ok := parents[par].(*ast.CallExpr); ok && call.Fun == par {
+					return true
+				}
+			}
+			esc = true
+		default:
+			esc = true
+		}
+		return !esc
+	})
+	return esc
+}
+
+func firstBeginPos(p *analysis.Pass, sc scope, v *types.Var) token.Pos {
+	pos := token.NoPos
+	inspectScope(sc.body, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isBeginCall(p.TypesInfo, call) && assignsTo(p, sc, call, v) {
+			pos = call.Pos()
+		}
+		return true
+	})
+	return pos
+}
+
+// assignsTo reports whether the Begin call's result lands in v.
+func assignsTo(p *analysis.Pass, sc scope, call *ast.CallExpr, v *types.Var) bool {
+	t, _ := beginTarget(p, sc, call).(*types.Var)
+	return t == v
+}
+
+// hasDeferredEnd reports whether the scope defers v.End(), directly or in
+// a deferred closure.
+func hasDeferredEnd(p *analysis.Pass, sc scope, v *types.Var) bool {
+	found := false
+	inspectScope(sc.body, func(n ast.Node) bool {
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return !found
+		}
+		if endsVar(p, d.Call, v) {
+			found = true
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok && endsVar(p, lit.Body, v) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// endsVar reports whether the node contains a v.End() call (descending
+// into closures: an End written inside a closure counts where it is
+// written — a documented approximation).
+func endsVar(p *analysis.Pass, root ast.Node, v *types.Var) bool {
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "End" {
+			if id, ok := sel.X.(*ast.Ident); ok && varOf(p, id) == v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// beginsVar reports whether the statement assigns a fresh Begin to v.
+func beginsVar(p *analysis.Pass, sc scope, root ast.Node, v *types.Var) (token.Pos, bool) {
+	pos := token.NoPos
+	inspectScope(root, func(n ast.Node) bool {
+		if pos.IsValid() {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isBeginCall(p.TypesInfo, call) && assignsTo(p, sc, call, v) {
+			pos = call.Pos()
+		}
+		return true
+	})
+	return pos, pos.IsValid()
+}
+
+// isPanicCall reports whether the statement is a call to the builtin
+// panic (an abort path: the telemetry report is abandoned with the run).
+func isPanicCall(p *analysis.Pass, s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return false
+	}
+	_, ok = p.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}
+
+// walker is the per-variable abstract interpreter.
+type walker struct {
+	p        *analysis.Pass
+	sc       scope
+	v        *types.Var
+	beginPos token.Pos
+	poisoned bool // a path-dependence report was already issued
+}
+
+func (w *walker) reportOnce(pos token.Pos, format string, args ...interface{}) {
+	if w.poisoned {
+		return
+	}
+	w.poisoned = true
+	w.p.Reportf(pos, format, args...)
+}
+
+// stmts walks a statement list; returns (live at fall-through,
+// terminated: every path returned/branched away).
+func (w *walker) stmts(list []ast.Stmt, live bool) (bool, bool) {
+	for _, s := range list {
+		var term bool
+		live, term = w.stmt(s, live)
+		if term {
+			return live, true
+		}
+	}
+	return live, false
+}
+
+func (w *walker) stmt(s ast.Stmt, live bool) (bool, bool) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		return w.stmts(s.List, live)
+	case *ast.LabeledStmt:
+		return w.stmt(s.Stmt, live)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			live, _ = w.stmt(s.Init, live)
+		}
+		thenLive, thenTerm := w.stmt(s.Body, live)
+		elseLive, elseTerm := live, false
+		if s.Else != nil {
+			elseLive, elseTerm = w.stmt(s.Else, live)
+		}
+		return w.merge(s.Pos(), []bool{thenLive, elseLive}, []bool{thenTerm, elseTerm})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.clauses(s, live)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			live, _ = w.stmt(s.Init, live)
+		}
+		bodyLive, bodyTerm := w.stmts(s.Body.List, live)
+		if !bodyTerm && bodyLive != live {
+			w.reportOnce(w.beginPos, "span %s does not End by the bottom of the loop body: the next iteration re-begins over a live span (or Ends a dead one)", w.v.Name())
+		}
+		return live, false
+	case *ast.RangeStmt:
+		bodyLive, bodyTerm := w.stmts(s.Body.List, live)
+		if !bodyTerm && bodyLive != live {
+			w.reportOnce(w.beginPos, "span %s does not End by the bottom of the loop body: the next iteration re-begins over a live span (or Ends a dead one)", w.v.Name())
+		}
+		return live, false
+	case *ast.ReturnStmt:
+		if live && !w.propagatesError(s) {
+			w.reportOnce(w.beginPos, "span %s begun here is still live at the return: .End() is skipped on this path (error-propagating returns are exempt — the run aborts)", w.v.Name())
+		}
+		return false, true
+	case *ast.BranchStmt:
+		// break/continue leave the current block; treating them as
+		// terminating keeps the loop-body join simple (documented
+		// approximation).
+		return live, true
+	default:
+		if isPanicCall(w.p, s) {
+			return false, true
+		}
+		// Effects of a straight-line statement: a fresh Begin into v, an
+		// End of v, or an overwrite of v.
+		if pos, ok := beginsVar(w.p, w.sc, s, w.v); ok {
+			if live {
+				w.reportOnce(pos, "span %s is re-begun before .End(): the previous span leaks", w.v.Name())
+			}
+			return true, false
+		}
+		if endsVar(w.p, s, w.v) {
+			return false, false
+		}
+		if w.overwrites(s) {
+			if live {
+				w.reportOnce(s.Pos(), "span %s is overwritten while live: the running span leaks", w.v.Name())
+			}
+			return false, false
+		}
+		return live, false
+	}
+}
+
+// clauses merges switch/type-switch/select bodies.
+func (w *walker) clauses(s ast.Stmt, live bool) (bool, bool) {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			live, _ = w.stmt(s.Init, live)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			live, _ = w.stmt(s.Init, live)
+		}
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	var lives []bool
+	var terms []bool
+	for _, c := range body.List {
+		var stmtsList []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			stmtsList = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			stmtsList = cc.Body
+		}
+		l, t := w.stmts(stmtsList, live)
+		lives = append(lives, l)
+		terms = append(terms, t)
+	}
+	if !hasDefault || len(lives) == 0 {
+		// The zero-clause path falls through unchanged.
+		lives = append(lives, live)
+		terms = append(terms, false)
+	}
+	return w.merge(s.Pos(), lives, terms)
+}
+
+// merge joins branch outcomes: surviving paths must agree on liveness.
+func (w *walker) merge(pos token.Pos, lives []bool, terms []bool) (bool, bool) {
+	first := true
+	var out bool
+	for i := range lives {
+		if terms[i] {
+			continue
+		}
+		if first {
+			out, first = lives[i], false
+			continue
+		}
+		if lives[i] != out {
+			w.reportOnce(w.beginPos, "span %s Ends on some paths through this branch but not others: the measurement is path-dependent", w.v.Name())
+			return false, false
+		}
+	}
+	if first {
+		return false, true // every branch terminated
+	}
+	return out, false
+}
+
+// overwrites reports whether the statement assigns a non-Begin value to v.
+func (w *walker) overwrites(s ast.Stmt) bool {
+	found := false
+	inspectScope(s, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return !found
+		}
+		for _, l := range as.Lhs {
+			if id, ok := l.(*ast.Ident); ok && varOf(w.p, id) == w.v {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// propagatesError mirrors collsym's exemption: the enclosing scope's last
+// result is an error and the returned value for it is not literal nil (a
+// naked return is presumed to carry the named error).
+func (w *walker) propagatesError(ret *ast.ReturnStmt) bool {
+	fs := w.sc.results
+	if fs == nil || len(fs.List) == 0 {
+		return false
+	}
+	last := fs.List[len(fs.List)-1]
+	t := w.p.TypesInfo.TypeOf(last.Type)
+	if t == nil || !types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return false
+	}
+	if len(ret.Results) == 0 {
+		return true
+	}
+	lastExpr := ret.Results[len(ret.Results)-1]
+	if id, ok := lastExpr.(*ast.Ident); ok && id.Name == "nil" {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package spanbalance_test
+
+import (
+	"testing"
+
+	"mdkmc/internal/analysis/analysistest"
+	"mdkmc/internal/analysis/spanbalance"
+)
+
+func TestSpanbalance(t *testing.T) {
+	analysistest.Run(t, spanbalance.Analyzer, "a")
+}

@@ -631,6 +631,11 @@ func RunCampaign(cfg Config) (*CampaignResult, error) {
 				}
 				osim.Inject(pts)
 				ev0, t0 := osim.Events, osim.Time
+				// The OKMC anneal has no checkpointable mid-state (the object
+				// simulator serializes only at iteration boundaries), so a poll
+				// inside the event loop could not act on a preemption request
+				// anyway; the campaign loop polls at the iteration boundary.
+				//mdvet:ignore preemptpoll OKMC anneal is atomic per iteration; the enclosing campaign loop polls at its boundary
 				for i := 0; i < spec.OKMCEvents; i++ {
 					if !osim.Step() {
 						break

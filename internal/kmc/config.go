@@ -50,11 +50,13 @@ func (p Protocol) String() string {
 // Config describes a KMC run.
 type Config struct {
 	Cells [3]int
-	Grid  [3]int
+	//mdvet:hashexempt topology knob (DESIGN.md §14): recorded in the manifest and re-sharded on restart, not part of the physical run
+	Grid [3]int
 	// Cuts, when a dimension is non-nil, are explicit slab boundaries of the
 	// process grid (lattice.NewGridCuts) — set by the repartitioner to
 	// concentrate ranks on the defect-dense region. A topology knob like
 	// Grid, excluded from Hash.
+	//mdvet:hashexempt topology knob (DESIGN.md §14): re-shard loader handles boundary changes, trajectory is unchanged
 	Cuts [3][]int
 	A    float64
 
@@ -80,7 +82,8 @@ type Config struct {
 	// what lets it precipitate on vacancy timescales.
 	EmCu float64
 
-	Seed     uint64
+	Seed uint64
+	//mdvet:hashexempt bit-identical communication knob (DESIGN.md §7): all three ghost protocols yield the same trajectory
 	Protocol Protocol
 
 	// FullRescan disables the incremental event-rate cache and re-enumerates
@@ -88,6 +91,7 @@ type Config struct {
 	// reference mode the equivalence tests and benchmarks compare against.
 	// The environment variable MDKMC_KMC_FULL_RESCAN=1 forces it on without
 	// a config change. Trajectories are bit-identical either way.
+	//mdvet:hashexempt bit-identical reference mode (DESIGN.md §8): the rescan cache changes speed, never the trajectory
 	FullRescan bool
 
 	// DtFactor scales the synchronous cycle window dt = DtFactor / R_max;

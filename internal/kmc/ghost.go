@@ -39,6 +39,7 @@ type unpacker struct {
 // the caller can report), not a raw slice-bounds panic.
 func (u *unpacker) need(n int, what string) {
 	if u.off+n > len(u.buf) {
+		//mdvet:panics the mpi runtime converts rank panics into RankPanic errors, so this fails the job, not the process
 		panic(fmt.Errorf("kmc: truncated ghost message: need %d byte(s) for %s at offset %d of %d",
 			n, what, u.off, len(u.buf)))
 	}
@@ -88,6 +89,7 @@ func (st *State) exchangeGetSector(sec int) {
 			st.setOcc(base+1, u.u8(), false)
 		}
 		if !u.done() {
+			//mdvet:panics ghost-protocol invariant in the hot exchange path; recovered as a RankPanic job error
 			panic(fmt.Errorf("kmc: %d trailing byte(s) in sector ghost get from rank %d",
 				len(u.buf)-u.off, peer))
 		}
@@ -124,6 +126,7 @@ func (st *State) exchangePutSector(sec int) {
 			st.setOcc(base+1, u.u8(), false)
 		}
 		if !u.done() {
+			//mdvet:panics ghost-protocol invariant in the hot exchange path; recovered as a RankPanic job error
 			panic(fmt.Errorf("kmc: %d trailing byte(s) in sector ghost put from rank %d",
 				len(u.buf)-u.off, peer))
 		}
@@ -175,6 +178,7 @@ func (st *State) applyDirty(data []byte, from int) {
 		key := st.cellKey(w.X, w.Y, w.Z)
 		base, ok := st.wrapped[key]
 		if !ok {
+			//mdvet:panics ghost-protocol invariant in the hot exchange path; recovered as a RankPanic job error
 			panic(fmt.Errorf("kmc: rank %d sent update for invisible cell %+v", from, w))
 		}
 		st.setOcc(base+int(w.B), occ, false)
@@ -238,6 +242,7 @@ func (st *State) flushOnDemand() {
 			st.applyDirty(m.Data, m.Source)
 		}
 	default:
+		//mdvet:panics unreachable by construction: Config pins the protocol before the state exists
 		panic("kmc: flushOnDemand with traditional protocol")
 	}
 }

@@ -89,3 +89,43 @@ func TestApplyDirtyInvisibleCell(t *testing.T) {
 		})
 	})
 }
+
+// TestDecodeCellList: the plan-handshake decoder resolves owned cells to
+// local indices and rejects a reference to a cell outside the receiver's
+// subdomain with a descriptive error — a per-job failure, not a process
+// abort (DESIGN.md §17, errpanic).
+func TestDecodeCellList(t *testing.T) {
+	l := lattice.New(4, 4, 4, 2.855)
+	grid, err := lattice.NewGrid(l, 2, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	box := grid.Box(0, 1) // rank 0 owns x ∈ [0,2)
+
+	owned := lattice.Coord{X: 1, Y: 2, Z: 3}
+	var p packer
+	p.i32(1)
+	p.i32(owned.X)
+	p.i32(owned.Y)
+	p.i32(owned.Z)
+	u := unpacker{buf: p.buf}
+	list, err := decodeCellList(&u, box, 1, 0)
+	if err != nil {
+		t.Fatalf("owned-cell list rejected: %v", err)
+	}
+	if len(list) != 1 || list[0] != box.LocalIndex(owned) {
+		t.Fatalf("got %v, want [%d]", list, box.LocalIndex(owned))
+	}
+
+	var bad packer
+	bad.i32(1)
+	bad.i32(3) // x=3 belongs to rank 1
+	bad.i32(0)
+	bad.i32(0)
+	u = unpacker{buf: bad.buf}
+	if _, err := decodeCellList(&u, box, 1, 0); err == nil {
+		t.Fatal("non-owned cell reference accepted")
+	} else if !strings.Contains(err.Error(), "non-owned cell") {
+		t.Fatalf("error %q does not name the non-owned cell", err)
+	}
+}

@@ -159,7 +159,9 @@ func NewState(cfg Config, comm *mpi.Comm) (*State, error) {
 	st.en = energetics{pot: pot, shells: newShellTables(pot, tab)}
 	st.dependReach = st.en.dependencyReach(reach)
 	st.buildDeltas()
-	st.buildPlans()
+	if err := st.buildPlans(); err != nil {
+		return nil, err
+	}
 	st.initOccupancy()
 	st.initRho()
 	if cfg.Protocol == OnDemandOneSided {
@@ -222,9 +224,28 @@ func distToBox(c lattice.Coord, lo, hi [3]int) int {
 	return max
 }
 
+// decodeCellList reads one length-prefixed cell list from u and resolves
+// each cell to its local index. A reference to a cell we do not own means
+// the peer's view of the topology diverged from ours — a per-job failure
+// the serve layer should report, not a process abort, so it surfaces as an
+// error.
+func decodeCellList(u *unpacker, box *lattice.Box, source, me int) ([]int, error) {
+	n := int(u.i32())
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		c := lattice.Coord{X: u.i32(), Y: u.i32(), Z: u.i32()}
+		if !box.Owns(c) {
+			return nil, fmt.Errorf("kmc: rank %d referenced non-owned cell %+v at %d",
+				source, c, me)
+		}
+		out = append(out, box.LocalIndex(c))
+	}
+	return out, nil
+}
+
 // buildPlans computes the image groups, the per-sector traditional-exchange
 // plans, and the peer set, via a collective handshake.
-func (st *State) buildPlans() {
+func (st *State) buildPlans() error {
 	l, box, comm := st.L, st.Box, st.Comm
 	me := comm.Rank()
 	st.groups = make(map[int][]int)
@@ -344,28 +365,22 @@ func (st *State) buildPlans() {
 	for range st.peers {
 		data, s := comm.Recv(mpi.AnySource, tagKReq)
 		u := unpacker{buf: data}
-		readCells := func() []int {
-			n := int(u.i32())
-			out := make([]int, 0, n)
-			for i := 0; i < n; i++ {
-				c := lattice.Coord{X: u.i32(), Y: u.i32(), Z: u.i32()}
-				if !box.Owns(c) {
-					panic(fmt.Sprintf("kmc: rank %d referenced non-owned cell %+v at %d",
-						s.Source, c, me))
-				}
-				out = append(out, box.LocalIndex(c))
-			}
-			return out
-		}
 		for sec := 0; sec < 8; sec++ {
-			if cells := readCells(); len(cells) > 0 {
+			cells, err := decodeCellList(&u, box, s.Source, me)
+			if err != nil {
+				return err
+			}
+			if len(cells) > 0 {
 				st.getSend[sec][s.Source] = cells
 			}
-			if cells := readCells(); len(cells) > 0 {
+			if cells, err = decodeCellList(&u, box, s.Source, me); err != nil {
+				return err
+			} else if len(cells) > 0 {
 				st.putRecv[sec][s.Source] = cells
 			}
 		}
 	}
+	return nil
 }
 
 // initOccupancy fills the box with atoms and seeds the vacancies: from the

@@ -76,8 +76,27 @@ func (e *exchange) attachTelemetry(reg *telemetry.Registry) {
 	}
 }
 
+// parseCellRequests decodes one handshake request message: the wrapped
+// global cells the source rank wants from us, resolved to local indices.
+// A request for a cell we do not own means the peer's view of the topology
+// diverged from ours — a per-job failure the serve layer should report,
+// not a process abort, so it surfaces as an error.
+func parseCellRequests(data []byte, box *lattice.Box, source, me int) ([]int, error) {
+	u := unpacker{buf: data}
+	var list []int
+	for !u.done() {
+		c := lattice.Coord{X: int32(u.i64()), Y: int32(u.i64()), Z: int32(u.i64())}
+		if !box.Owns(c) {
+			return nil, fmt.Errorf("md: rank %d asked rank %d for non-owned cell %+v",
+				source, me, c)
+		}
+		list = append(list, box.LocalIndex(c))
+	}
+	return list, nil
+}
+
 // newExchange builds the plan collectively; every rank must call it.
-func newExchange(comm *mpi.Comm, grid *lattice.Grid, box *lattice.Box) *exchange {
+func newExchange(comm *mpi.Comm, grid *lattice.Grid, box *lattice.Box) (*exchange, error) {
 	e := &exchange{
 		comm:      comm,
 		grid:      grid,
@@ -147,15 +166,9 @@ func newExchange(comm *mpi.Comm, grid *lattice.Grid, box *lattice.Box) *exchange
 		if len(data) == 0 {
 			continue
 		}
-		u := unpacker{buf: data}
-		var list []int
-		for !u.done() {
-			c := lattice.Coord{X: int32(u.i64()), Y: int32(u.i64()), Z: int32(u.i64())}
-			if !e.box.Owns(c) {
-				panic(fmt.Sprintf("md: rank %d asked rank %d for non-owned cell %+v",
-					st.Source, me, c))
-			}
-			list = append(list, box.LocalIndex(c))
+		list, err := parseCellRequests(data, e.box, st.Source, me)
+		if err != nil {
+			return nil, err
 		}
 		e.sendPlans[st.Source] = list
 	}
@@ -172,7 +185,7 @@ func newExchange(comm *mpi.Comm, grid *lattice.Grid, box *lattice.Box) *exchange
 		e.peers = append(e.peers, r)
 	}
 	sort.Ints(e.peers)
-	return e
+	return e, nil
 }
 
 // packCellPos serializes one cell's two sites: per site ID, type, position,
@@ -244,6 +257,7 @@ func (e *exchange) ExchangePositions(s *neighbor.Store) {
 			unpackCellPos(&u, s, cp.dst, cp.shift)
 		}
 		if !u.done() {
+			//mdvet:panics ghost-protocol invariant in the hot exchange path; recovered as a RankPanic job error
 			panic("md: trailing bytes in position ghost message")
 		}
 		sp.End()
@@ -282,6 +296,7 @@ func unpackCellRho(u *unpacker, s *neighbor.Store, base int) {
 				}
 			})
 			if !found {
+				//mdvet:panics ghost-protocol invariant in the hot exchange path; recovered as a RankPanic job error
 				panic(fmt.Sprintf("md: rho for unknown ghost run-away %d", id))
 			}
 		}
@@ -317,6 +332,7 @@ func (e *exchange) ExchangeDensities(s *neighbor.Store) {
 			unpackCellRho(&u, s, cp.dst)
 		}
 		if !u.done() {
+			//mdvet:panics ghost-protocol invariant in the hot exchange path; recovered as a RankPanic job error
 			panic("md: trailing bytes in density ghost message")
 		}
 		sp.End()
@@ -339,6 +355,7 @@ func (e *exchange) SendMigrants(out []migrant) []migrant {
 	for _, m := range out {
 		owner := e.grid.RankOfCell(m.anchor.X, m.anchor.Y, m.anchor.Z)
 		if owner == e.comm.Rank() {
+			//mdvet:panics caller contract of the migration hot path; recovered as a RankPanic job error
 			panic("md: local migrant routed through SendMigrants")
 		}
 		byPeer[owner] = append(byPeer[owner], m)
@@ -352,6 +369,7 @@ func (e *exchange) SendMigrants(out []migrant) []migrant {
 			}
 		}
 		if !found {
+			//mdvet:panics run-away containment invariant (WideMargin): a migrant beyond the peer halo is physics gone wrong; recovered as a RankPanic job error
 			panic(fmt.Sprintf("md: migrant target rank %d is not a ghost peer", peer))
 		}
 	}

@@ -121,7 +121,10 @@ func NewRank(cfg Config, comm *mpi.Comm) (*Rank, error) {
 	}
 	r.FF.Reference = cfg.ReferenceKernel
 	r.Pool = NewForcePool(r.FF, cfg.Workers)
-	r.Ex = newExchange(comm, grid, box)
+	r.Ex, err = newExchange(comm, grid, box)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.CuFraction > 0 {
 		r.substituteCopper(cfg.CuFraction)
 	}
@@ -395,11 +398,13 @@ func (r *Rank) relink() {
 	for _, m := range in {
 		anchor := lattice.Coord{X: m.anchor.X, Y: m.anchor.Y, Z: m.anchor.Z, B: m.anchor.B}
 		if !r.Box.Owns(anchor) {
+			//mdvet:panics migration-protocol invariant in the hot step path; recovered as a RankPanic job error
 			panic("md: received migrant for non-owned anchor")
 		}
 		var dummy []migrant
 		r.route(m.atom, anchor, &dummy)
 		if len(dummy) != 0 {
+			//mdvet:panics migration-protocol invariant in the hot step path; recovered as a RankPanic job error
 			panic("md: migrant re-migrated on arrival")
 		}
 	}
